@@ -1,0 +1,213 @@
+(* Command-line front door: check a JIR source file with the built-in
+   property checkers.
+
+     grapple check file.jir --checkers io,lock,exception,socket
+     grapple cfet file.jir            (dump the per-method CFETs)
+     grapple graph file.jir           (alias-graph statistics)
+     grapple closure edges.txt        (standalone grammar-guided closure
+                                       over a Graspan-style edge list)    *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match Jir.Resolve.parse_exn ~file:(Filename.basename path) (read_file path) with
+  | p -> p
+  | exception Jir.Resolve.Resolve_error errs ->
+      List.iter (fun e -> prerr_endline (Jir.Resolve.error_to_string e)) errs;
+      exit 2
+  | exception Jir.Parser.Parse_error (msg, line) ->
+      Printf.eprintf "%s:%d: parse error: %s\n" path line msg;
+      exit 2
+  | exception Jir.Lexer.Lex_error (msg, line) ->
+      Printf.eprintf "%s:%d: lexical error: %s\n" path line msg;
+      exit 2
+
+let with_workdir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "grapple-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> ()) (fun () -> f dir)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JIR source file")
+
+let checkers_arg =
+  Arg.(value & opt string "io,lock,exception,socket"
+       & info [ "checkers" ] ~docv:"LIST" ~doc:"comma-separated checker names")
+
+let unroll_arg =
+  Arg.(value & opt int 2 & info [ "unroll" ] ~docv:"K" ~doc:"loop unroll bound")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"print the recovered path of each warning")
+
+let checker_of_name = function
+  | "io" -> Checkers.io ()
+  | "lock" -> Checkers.lock ()
+  | "socket" -> Checkers.socket ()
+  | "exception" -> Checkers.exception_ ()
+  | "null" -> Checkers.null ()
+  | s ->
+      Printf.eprintf
+        "unknown checker %S (available: io, lock, exception, socket, null)\n" s;
+      exit 2
+
+let check_cmd =
+  let run file checkers unroll trace =
+    let program = load file in
+    if program.Jir.Ast.entries = [] then
+      prerr_endline
+        "warning: no `entry Class.method;` declaration -- nothing will be \
+         analyzed";
+    let names = String.split_on_char ',' checkers in
+    with_workdir (fun workdir ->
+        let config =
+          { (Grapple.Pipeline.default_config ~workdir) with
+            Grapple.Pipeline.unroll_bound = unroll;
+            library_throwers = Checkers.Specs.library_throwers;
+            track_null = List.mem "null" names }
+        in
+        let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
+        let cs = List.map checker_of_name names in
+        let results, props = Checkers.run_all prepared cs in
+        let total = ref 0 in
+        List.iter
+          (fun (name, reports) ->
+            Printf.printf "== checker %s: %d warning(s)\n" name
+              (List.length reports);
+            List.iter
+              (fun r ->
+                if trace then
+                  Fmt.pr "  %a@." Grapple.Report.pp_with_trace r
+                else Printf.printf "  %s\n" (Grapple.Report.to_string r))
+              reports;
+            total := !total + List.length reports)
+          results;
+        let stats = Grapple.Pipeline.stats prepared props in
+        Printf.printf
+          "\n%d warning(s); |V|=%d |E|before=%d |E|after=%d partitions=%d \
+           iterations=%d constraints=%d cache=%d/%d\n"
+          !total stats.Grapple.Pipeline.n_vertices
+          stats.Grapple.Pipeline.n_edges_before
+          stats.Grapple.Pipeline.n_edges_after
+          stats.Grapple.Pipeline.n_partitions
+          stats.Grapple.Pipeline.n_iterations
+          stats.Grapple.Pipeline.n_constraints_solved
+          stats.Grapple.Pipeline.cache_hits stats.Grapple.Pipeline.cache_lookups)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"run property checkers on a JIR file")
+    Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ trace_arg)
+
+let cfet_cmd =
+  let run file unroll =
+    let program = load file in
+    let program = Jir.Unroll.unroll_program ~bound:unroll program in
+    let icfet = Symexec.Icfet.build program in
+    Array.iter
+      (fun (c : Symexec.Cfet.t) ->
+        Fmt.pr "=== %s (%d nodes, depth %d)@.%a@.@."
+          (Jir.Ast.meth_id c.Symexec.Cfet.meth)
+          c.Symexec.Cfet.node_count c.Symexec.Cfet.depth Symexec.Cfet.pp c)
+      icfet.Symexec.Icfet.cfets
+  in
+  Cmd.v (Cmd.info "cfet" ~doc:"dump per-method CFETs")
+    Term.(const run $ file_arg $ unroll_arg)
+
+let graph_cmd =
+  let run file unroll =
+    let program = load file in
+    let program = Jir.Unroll.unroll_program ~bound:unroll program in
+    let icfet = Symexec.Icfet.build program in
+    let cg = Jir.Callgraph.build program in
+    let clones = Graphgen.Clone_tree.build icfet cg in
+    let ag = Graphgen.Alias_graph.build icfet clones in
+    Printf.printf
+      "methods=%d icfet-nodes=%d call-edges=%d clones=%d vertices=%d edges=%d\n"
+      (Symexec.Icfet.n_methods icfet)
+      (Symexec.Icfet.total_nodes icfet)
+      (Symexec.Icfet.n_call_edges icfet)
+      (Graphgen.Clone_tree.n_instances clones)
+      (Graphgen.Alias_graph.n_vertices ag)
+      (Graphgen.Alias_graph.n_edges ag)
+  in
+  Cmd.v (Cmd.info "graph" ~doc:"alias-graph statistics")
+    Term.(const run $ file_arg $ unroll_arg)
+
+(* Standalone closure over a Graspan-style edge list: one edge per line,
+   "src dst label" with label in {new, assign, store[F], load[F]}.  Runs the
+   pointer-analysis grammar without path constraints and prints the derived
+   flowsTo and alias facts — the engine as a reusable building block. *)
+let closure_cmd =
+  let module AE = Engine.Make (Cfl.Pointer_grammar) in
+  let parse_label l =
+    if l = "new" then Cfl.Pointer_grammar.New
+    else if l = "assign" then Cfl.Pointer_grammar.Assign
+    else
+      let field prefix =
+        let n = String.length prefix in
+        if String.length l > n + 1
+           && String.sub l 0 n = prefix
+           && l.[n] = '['
+           && l.[String.length l - 1] = ']'
+        then
+          Some
+            (Smt.Symbol.intern
+               (String.sub l (n + 1) (String.length l - n - 2)))
+        else None
+      in
+      match (field "store", field "load") with
+      | Some f, _ -> Cfl.Pointer_grammar.Store f
+      | _, Some f -> Cfl.Pointer_grammar.Load f
+      | None, None ->
+          Printf.eprintf
+            "unknown edge label %S (expected new, assign, store[F], load[F])\n"
+            l;
+          exit 2
+  in
+  let run file =
+    let workdir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "grapple-closure-%d" (Unix.getpid ()))
+    in
+    let t =
+      AE.create ~decode:(fun _ -> Smt.Formula.True) ~workdir ()
+    in
+    let ic = open_in file in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+           | [ src; dst; label ] ->
+               AE.add_seed t ~src:(int_of_string src) ~dst:(int_of_string dst)
+                 ~label:(parse_label label) ~enc:[]
+           | _ -> failwith ("malformed edge line: " ^ line)
+       done
+     with End_of_file -> close_in ic);
+    AE.run t;
+    AE.iter_result_edges t (fun e ->
+        Printf.printf "%d %d %s\n" e.AE.src e.AE.dst
+          (Cfl.Pointer_grammar.to_string e.AE.label));
+    AE.cleanup t
+  in
+  Cmd.v
+    (Cmd.info "closure"
+       ~doc:"grammar-guided transitive closure over an edge-list file")
+    Term.(const run $ file_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "grapple" ~doc:"static finite-state property checking")
+          [ check_cmd; cfet_cmd; graph_cmd; closure_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_checker.ml: Filename Fsm Grapple Jir List Printf

@@ -1,0 +1,1 @@
+examples/hdfs_shutdown.ml: Checkers Filename Grapple Jir List Printf

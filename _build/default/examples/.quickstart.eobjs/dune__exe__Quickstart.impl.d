@@ -1,0 +1,1 @@
+examples/quickstart.ml: Checkers Filename Grapple Jir List Printf

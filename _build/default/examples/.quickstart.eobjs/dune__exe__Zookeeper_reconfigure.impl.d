@@ -1,0 +1,1 @@
+examples/zookeeper_reconfigure.ml: Checkers Filename Grapple Jir List Printf

@@ -1,0 +1,1 @@
+examples/zookeeper_reconfigure.mli:

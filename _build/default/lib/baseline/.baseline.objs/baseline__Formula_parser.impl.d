@@ -1,0 +1,1 @@
+lib/baseline/formula_parser.ml: Printf Smt String

@@ -1,0 +1,1 @@
+lib/baseline/string_engine.ml: Buffer Bytes Engine Filename Formula_parser Hashtbl List Option Pathenc Printf Queue Smt String Sys Unix

@@ -1,0 +1,1 @@
+lib/baseline/worklist.ml: Cfl Graphgen Hashtbl List Queue Smt Symexec Unix

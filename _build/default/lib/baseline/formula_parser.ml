@@ -1,0 +1,149 @@
+(* Parser for the textual formula syntax produced by [Smt.Formula.pp] /
+   [Smt.Linexpr.pp].  The naive string-based engine (§5.3, Table 5) stores
+   path constraints as strings on edges; every satisfiability check must
+   re-parse the string into a formula, which is part of the cost the paper's
+   comparison charges to that design.
+
+   Grammar (exactly the printer's output):
+     formula  := "true" | "false" | atom
+               | "!(" formula ")"
+               | "(" formula " & " formula ")"
+               | "(" formula " | " formula ")"
+     atom     := linexpr " <= 0" | linexpr " = 0"
+     linexpr  := term ((" + " | " - ") term)* | int
+     term     := int "*" name | name | "-" name | int                     *)
+
+module Linexpr = Smt.Linexpr
+module Formula = Smt.Formula
+module Symbol = Smt.Symbol
+
+exception Parse_error of string * int  (* message, position *)
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let fail st msg = raise (Parse_error (msg, st.pos))
+
+let eat st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let accept st s =
+  if looking_at st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* symbol names: anything the interner may contain except the structural
+   characters of the formula syntax *)
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c
+  || String.contains "_.:$@#<>" c
+
+let parse_int st =
+  let start = st.pos in
+  if accept st "-" then ();
+  while (match peek st with Some c when is_digit c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected integer";
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let parse_name st =
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected symbol name";
+  String.sub st.src start (st.pos - start)
+
+(* one term: [int "*" name] | ["-"] name | int.  Returns a linexpr. *)
+let parse_term st ~negated =
+  let sign = if negated then -1 else 1 in
+  match peek st with
+  | Some c when is_digit c || c = '-' ->
+      (* an integer, possibly "c*name" *)
+      let n = parse_int st in
+      if accept st "*" then
+        let name = parse_name st in
+        Linexpr.var ~coeff:(sign * n) (Symbol.intern name)
+      else Linexpr.const (sign * n)
+  | Some _ ->
+      (* "-name" was handled by the caller via [negated]; here a bare name *)
+      let name = parse_name st in
+      Linexpr.var ~coeff:sign (Symbol.intern name)
+  | None -> fail st "expected term"
+
+(* linexpr := term ((" + " | " - ") term)* ; a leading "-name" belongs to
+   the first term. *)
+let parse_linexpr st =
+  (* "-3*x" and "-3" are handled by parse_term's integer branch; a leading
+     "-name" needs the explicit negation *)
+  let first =
+    if
+      looking_at st "-"
+      && st.pos + 1 < String.length st.src
+      && not (is_digit st.src.[st.pos + 1])
+    then begin
+      eat st '-';
+      parse_term st ~negated:true
+    end
+    else parse_term st ~negated:false
+  in
+  let acc = ref first in
+  let rec loop () =
+    if accept st " + " then begin
+      acc := Linexpr.add !acc (parse_term st ~negated:false);
+      loop ()
+    end
+    else if accept st " - " then begin
+      acc := Linexpr.add !acc (parse_term st ~negated:true);
+      loop ()
+    end
+  in
+  loop ();
+  !acc
+
+let rec parse_formula st : Formula.t =
+  if accept st "true" then Formula.True
+  else if accept st "false" then Formula.False
+  else if accept st "!(" then begin
+    let f = parse_formula st in
+    eat st ')';
+    (* raw constructors: the parser must reproduce the printed structure
+       verbatim, not re-simplify it *)
+    Formula.Not f
+  end
+  else if accept st "(" then begin
+    let a = parse_formula st in
+    let op =
+      if accept st " & " then `And
+      else if accept st " | " then `Or
+      else fail st "expected ' & ' or ' | '"
+    in
+    let b = parse_formula st in
+    eat st ')';
+    match op with `And -> Formula.And (a, b) | `Or -> Formula.Or (a, b)
+  end
+  else begin
+    let e = parse_linexpr st in
+    if accept st " <= 0" then Formula.Atom (Formula.Le e)
+    else if accept st " = 0" then Formula.Atom (Formula.Eq e)
+    else fail st "expected ' <= 0' or ' = 0'"
+  end
+
+(* Parse a full formula string; raises [Parse_error] on trailing input. *)
+let parse (s : string) : Formula.t =
+  let st = { src = s; pos = 0 } in
+  let f = parse_formula st in
+  if st.pos <> String.length s then fail st "trailing input";
+  f

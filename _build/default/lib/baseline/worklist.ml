@@ -1,0 +1,145 @@
+(* The traditional (non-systemized) comparison point of §5.3: a worklist
+   path-sensitive alias analysis that keeps every edge in memory and
+   attaches the *actual* constraint objects (formulas) to edges via
+   pointers.  The paper reports that this implementation "ran out of memory
+   quickly after several iterations" on every subject; we reproduce the
+   behaviour with an explicit memory budget — the analysis tracks the
+   approximate heap footprint of its edge set and raises [Out_of_budget]
+   the moment it exceeds the configured limit, recording how far it got. *)
+
+module Formula = Smt.Formula
+module Solver = Smt.Solver
+module Pg = Cfl.Pointer_grammar
+module Icfet = Symexec.Icfet
+module Alias_graph = Graphgen.Alias_graph
+
+exception Out_of_budget
+
+type outcome = Completed | Ran_out_of_memory
+
+type result = {
+  outcome : outcome;
+  edges_processed : int;
+  edges_materialized : int;
+  peak_bytes : int;        (* approximate resident set of the edge store *)
+  elapsed_s : float;
+}
+
+type config = {
+  memory_budget_bytes : int;
+  max_seconds : float;
+}
+
+let default_config = { memory_budget_bytes = 256_000_000; max_seconds = 300. }
+
+(* Approximate in-memory size of a formula: every node is a boxed
+   constructor, every atom a boxed linear expression with a cons cell per
+   coefficient. *)
+let formula_bytes (f : Formula.t) =
+  let rec linexpr_bytes (e : Smt.Linexpr.t) =
+    32 + (24 * List.length e.Smt.Linexpr.coeffs)
+  and go = function
+    | Formula.True | Formula.False -> 16
+    | Formula.Atom (Formula.Le e) | Formula.Atom (Formula.Eq e) ->
+        24 + linexpr_bytes e
+    | Formula.Not a -> 16 + go a
+    | Formula.And (a, b) | Formula.Or (a, b) -> 24 + go a + go b
+  in
+  go f
+
+type edge = { src : int; dst : int; label : Pg.t; cstr : Formula.t }
+
+(* Run the in-memory analysis over the alias-graph seeds of a prepared
+   program.  [decode] turns each seed's encoding into its constraint once,
+   after which constraints only ever grow by conjunction — the
+   representation the paper's traditional implementation used. *)
+let run ?(config = default_config) (icfet : Icfet.t) (ag : Alias_graph.t) :
+    result =
+  let t0 = Unix.gettimeofday () in
+  let bytes = ref 0 in
+  let peak = ref 0 in
+  let processed = ref 0 in
+  let materialized = ref 0 in
+  let by_src : (int, edge list ref) Hashtbl.t = Hashtbl.create 4096 in
+  let by_dst : (int, edge list ref) Hashtbl.t = Hashtbl.create 4096 in
+  let present : (int * int * int * Formula.t, unit) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let queue = Queue.create () in
+  let charge e =
+    bytes := !bytes + 48 + formula_bytes e.cstr;
+    if !bytes > !peak then peak := !bytes;
+    if !bytes > config.memory_budget_bytes then raise Out_of_budget
+  in
+  let add (e : edge) =
+    let key = (e.src, e.dst, Pg.to_int e.label, e.cstr) in
+    if not (Hashtbl.mem present key) then begin
+      Hashtbl.replace present key ();
+      charge e;
+      incr materialized;
+      let push tbl k =
+        match Hashtbl.find_opt tbl k with
+        | Some r -> r := e :: !r
+        | None -> Hashtbl.replace tbl k (ref [ e ])
+      in
+      push by_src e.src;
+      push by_dst e.dst;
+      Queue.add e queue
+    end
+  in
+  let consequences (e : edge) =
+    let unary = List.map (fun l -> { e with label = l }) (Pg.unary e.label) in
+    let mirrors =
+      List.filter_map
+        (fun d ->
+          match Pg.mirror d.label with
+          | Some l -> Some { src = d.dst; dst = d.src; label = l; cstr = d.cstr }
+          | None -> None)
+        (e :: unary)
+    in
+    unary @ mirrors
+  in
+  let outcome = ref Completed in
+  (try
+     Alias_graph.iter_edges ag (fun e ->
+         let cstr = Icfet.constraint_of icfet e.Alias_graph.enc in
+         let edge =
+           { src = e.Alias_graph.src; dst = e.Alias_graph.dst;
+             label = e.Alias_graph.label; cstr }
+         in
+         add edge;
+         List.iter add (consequences edge));
+     while not (Queue.is_empty queue) do
+       if Unix.gettimeofday () -. t0 > config.max_seconds then
+         raise Out_of_budget;
+       let e = Queue.pop queue in
+       incr processed;
+       let try_pair e1 e2 =
+         match Pg.compose e1.label e2.label with
+         | None -> ()
+         | Some l3 ->
+             let cstr = Formula.and_ e1.cstr e2.cstr in
+             let sat =
+               match Solver.check cstr with
+               | Solver.Sat | Solver.Unknown -> true
+               | Solver.Unsat -> false
+             in
+             if sat then begin
+               let d = { src = e1.src; dst = e2.dst; label = l3; cstr } in
+               add d;
+               List.iter add (consequences d)
+             end
+       in
+       (match Hashtbl.find_opt by_src e.dst with
+       | Some outs -> List.iter (fun e2 -> try_pair e e2) !outs
+       | None -> ());
+       (match Hashtbl.find_opt by_dst e.src with
+       | Some ins -> List.iter (fun e1 -> try_pair e1 e) !ins
+       | None -> ())
+     done
+   with Out_of_budget -> outcome := Ran_out_of_memory);
+  { outcome = !outcome;
+    edges_processed = !processed;
+    edges_materialized = !materialized;
+    peak_bytes = !peak;
+    elapsed_s = Unix.gettimeofday () -. t0 }

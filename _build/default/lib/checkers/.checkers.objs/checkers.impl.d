@@ -1,0 +1,1 @@
+lib/checkers/checkers.ml: Exception_checker Fsm Grapple List Specs

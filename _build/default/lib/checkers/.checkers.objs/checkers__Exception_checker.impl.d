@@ -1,0 +1,1 @@
+lib/checkers/exception_checker.ml: Array Graphgen Grapple Hashtbl Jir List Option Pathenc Smt Symexec

@@ -1,0 +1,1 @@
+lib/checkers/specs.ml: Fsm Graphgen List

@@ -1,0 +1,48 @@
+(* The checker registry: the four finite-state property checkers the paper
+   evaluates (§5), ready to run against a prepared pipeline state. *)
+
+module Specs = Specs
+module Exception_checker = Exception_checker
+module Pipeline = Grapple.Pipeline
+module Report = Grapple.Report
+
+type t = {
+  name : string;
+  kind : [ `Typestate of Fsm.t | `Exception_walk ];
+}
+
+let io () = { name = "io"; kind = `Typestate (Specs.io_fsm ()) }
+let null () = { name = "null"; kind = `Typestate (Specs.null_fsm ()) }
+let lock () = { name = "lock"; kind = `Typestate (Specs.lock_fsm ()) }
+let socket () = { name = "socket"; kind = `Typestate (Specs.socket_fsm ()) }
+let exception_ () = { name = "exception"; kind = `Exception_walk }
+
+(* The paper's four checkers; [null] is an additional client built on the
+   same machinery (enable explicitly). *)
+let all () = [ io (); lock (); exception_ (); socket () ]
+
+let all_with_null () = all () @ [ null () ]
+
+(* Run one checker against a prepared program; returns its warnings. *)
+let run (p : Pipeline.prepared) (c : t) : Report.t list =
+  match c.kind with
+  | `Typestate fsm -> (Pipeline.check_property p fsm).Pipeline.reports
+  | `Exception_walk -> Exception_checker.run p
+
+(* Run every checker, reusing the shared phase-1 results; returns per-checker
+   warnings plus the property results needed for statistics. *)
+let run_all (p : Pipeline.prepared) (cs : t list) :
+    (string * Report.t list) list * Pipeline.property_result list =
+  let props = ref [] in
+  let out =
+    List.map
+      (fun c ->
+        match c.kind with
+        | `Typestate fsm ->
+            let pr = Pipeline.check_property p fsm in
+            props := pr :: !props;
+            (c.name, pr.Pipeline.reports)
+        | `Exception_walk -> (c.name, Exception_checker.run p))
+      cs
+  in
+  (out, List.rev !props)

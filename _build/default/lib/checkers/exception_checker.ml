@@ -1,0 +1,141 @@
+(* The exception-handler checker (paper §5.1): finds explicitly thrown
+   exceptions that never have handlers, i.e. exceptional control flow that
+   escapes every (transitive) caller and terminates the process — the class
+   of bugs studied by Yuan et al. that the paper reports as its largest
+   category.
+
+   The check walks the clone tree.  An exceptional CFET leaf escapes an
+   instance; whether it then escapes the whole program is decided by the
+   caller-side structure the CFET construction already materialized: a call
+   that may throw diverges in the caller, and its false child is either the
+   matching handler's code or — when no handler exists in the caller — an
+   exceptional leaf that recursively escapes.  A leaf is only reported when
+   its local root-to-leaf path constraint is satisfiable, making the check
+   path-sensitive within the throwing method. *)
+
+module Pipeline = Grapple.Pipeline
+module Report = Grapple.Report
+module Icfet = Symexec.Icfet
+module Cfet = Symexec.Cfet
+module Clone_tree = Graphgen.Clone_tree
+module Solver = Smt.Solver
+
+let checker_name = "exception"
+
+(* Does the exceptional leaf [node] of [inst] escape the whole program?
+   Memoized over (instance, node). *)
+let escape_analysis (icfet : Icfet.t) (clones : Clone_tree.t) =
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  (* reverse call-site map *)
+  let entries_rev : (int, (int * int) list) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (caller, call_id) callee ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt entries_rev callee) in
+      Hashtbl.replace entries_rev callee ((caller, call_id) :: cur))
+    clones.Clone_tree.by_site;
+  let rec escapes inst node =
+    match Hashtbl.find_opt memo (inst, node) with
+    | Some b -> b
+    | None ->
+        Hashtbl.replace memo (inst, node) false (* cut recursion cycles *);
+        let result =
+          let entering =
+            Option.value ~default:[] (Hashtbl.find_opt entries_rev inst)
+          in
+          if
+            List.mem inst clones.Clone_tree.entry_instances || entering = []
+          then true
+          else
+            List.exists
+              (fun (caller, call_id) ->
+                let ce = Icfet.call_edge icfet call_id in
+                let caller_node = ce.Icfet.caller_node in
+                (* the may-throw divergence put the call at the head of a
+                   true child; the false sibling receives the exception *)
+                if ce.Icfet.diverges && caller_node > 0 then begin
+                  let sibling = caller_node - 1 in
+                  let caller_cfet = Icfet.cfet icfet ce.Icfet.caller_meth in
+                  match Hashtbl.find_opt caller_cfet.Cfet.nodes sibling with
+                  | Some n -> (
+                      match n.Cfet.exit with
+                      | Some (Cfet.Exceptional _) -> escapes caller sibling
+                      | Some (Cfet.Normal _) | None -> false)
+                  | None -> false
+                end
+                else
+                  (* no divergence in the caller: the callee's declared
+                     throws did not cover this exception; treat as escaping
+                     (conservative) *)
+                  true)
+              entering
+        in
+        Hashtbl.replace memo (inst, node) result;
+        result
+  in
+  escapes
+
+(* Position to blame for an exceptional leaf: its trailing [throw], or the
+   call statement that the divergence guarded (first statement of the true
+   sibling). *)
+let blame_position (cfet : Cfet.t) (n : Cfet.node) : Jir.Ast.pos option =
+  match List.rev n.Cfet.stmts with
+  | ({ Jir.Ast.kind = Jir.Ast.Throw _; _ } as s) :: _ -> Some s.Jir.Ast.at
+  | _ -> (
+      let sibling = n.Cfet.id + 1 in
+      match Hashtbl.find_opt cfet.Cfet.nodes sibling with
+      | Some sib -> (
+          match sib.Cfet.stmts with s :: _ -> Some s.Jir.Ast.at | [] -> None)
+      | None -> None)
+
+(* Run the checker over a prepared pipeline state. *)
+let run (p : Pipeline.prepared) : Report.t list =
+  let icfet = p.Pipeline.icfet in
+  let clones = p.Pipeline.clones in
+  let escapes = escape_analysis icfet clones in
+  let reports = ref [] in
+  Array.iter
+    (fun (inst : Clone_tree.instance) ->
+      let cfet = Icfet.cfet icfet inst.Clone_tree.meth in
+      Hashtbl.iter
+        (fun node_id (n : Cfet.node) ->
+          match (n.Cfet.exit, List.rev n.Cfet.stmts) with
+          (* only *explicitly thrown* exceptions are the checker's target
+             (paper §5: "explicitly thrown exceptions never have handlers");
+             leaves created by may-throw library calls are not reported *)
+          | ( Some (Cfet.Exceptional exn_class),
+              { Jir.Ast.kind = Jir.Ast.Throw _; _ } :: _ )
+            when escapes inst.Clone_tree.inst_id node_id ->
+              (* path sensitivity: only report leaves whose local path is
+                 feasible *)
+              let local =
+                Cfet.path_constraint cfet ~first:0 ~last:node_id
+              in
+              let feasible =
+                match Solver.check local with
+                | Solver.Sat | Solver.Unknown -> true
+                | Solver.Unsat -> false
+              in
+              if feasible then begin
+                let at =
+                  Option.value ~default:Jir.Ast.no_pos
+                    (blame_position cfet n)
+                in
+                reports :=
+                  { Report.checker = checker_name;
+                    kind = Report.Unhandled_exception exn_class;
+                    cls = exn_class;
+                    alloc_at = at;
+                    site = None;
+                    context = [ Jir.Ast.meth_id cfet.Cfet.meth ];
+                    witness = Grapple.Pipeline.witness_of_constraint local;
+                    trace =
+                      Icfet.trace_of icfet
+                        [ Pathenc.Encoding.Interval
+                            { meth = inst.Clone_tree.meth; first = 0;
+                              last = node_id } ] }
+                  :: !reports
+              end
+          | _ -> ())
+        cfet.Cfet.nodes)
+    clones.Clone_tree.instances;
+  Report.dedup (List.rev !reports)

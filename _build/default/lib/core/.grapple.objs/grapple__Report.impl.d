@@ -1,0 +1,1 @@
+lib/core/report.ml: Fmt Hashtbl Jir List Option Printf

@@ -1,0 +1,360 @@
+(* The Grapple pipeline (paper §2.2): frontend -> ICFET + program graphs ->
+   phase 1 path-sensitive alias computation -> phase 2 path-sensitive
+   dataflow computation (per FSM property) -> phase 3 FSM checking.
+
+   [prepare] runs the frontend once per program: loop unrolling, ICFET
+   construction, clone-tree planning, alias-graph generation, and the
+   phase-1 engine run.  [check_property] then runs phases 2 and 3 for one
+   FSM specification against the prepared state, so several checkers share
+   one alias computation exactly as in the paper. *)
+
+module Encoding = Pathenc.Encoding
+module Icfet = Symexec.Icfet
+module Cfet = Symexec.Cfet
+module Clone_tree = Graphgen.Clone_tree
+module Alias_graph = Graphgen.Alias_graph
+module Dataflow_graph = Graphgen.Dataflow_graph
+module Pg = Cfl.Pointer_grammar
+module Dg = Cfl.Dataflow_grammar
+module Transfn = Cfl.Transfn
+
+module Alias_engine = Engine.Make (Cfl.Pointer_grammar)
+module Dataflow_engine = Engine.Make (Cfl.Dataflow_grammar)
+
+type config = {
+  workdir : string;
+  unroll_bound : int;
+  max_instances : int;
+  max_graph_edges : int;
+  engine : Engine.config;
+  library_throwers : (string * string * string) list;
+      (* (class, method, exception) for library calls that may throw *)
+  track_null : bool;
+      (* materialize [null] pseudo-allocations in the alias graph so the
+         null-dereference checker can track them; off by default because
+         the extra sources enlarge the closure for every property *)
+}
+
+let default_config ~workdir =
+  { workdir;
+    unroll_bound = 2;
+    max_instances = 100_000;
+    max_graph_edges = 5_000_000;
+    engine = Engine.default_config ~workdir;
+    library_throwers = [];
+    track_null = false }
+
+type timing = {
+  mutable preprocess_s : float;  (* frontend + graph generation + loading *)
+  mutable compute_s : float;     (* engine closures *)
+  mutable check_s : float;       (* phase 3 *)
+}
+
+type prepared = {
+  config : config;
+  program : Jir.Ast.program;   (* unrolled *)
+  icfet : Icfet.t;
+  callgraph : Jir.Callgraph.t;
+  clones : Clone_tree.t;
+  alias_graph : Alias_graph.t;
+  alias_engine : Alias_engine.t;
+  flows : Dataflow_graph.flows;
+  n_alias_pairs : int;
+  timing : timing;
+}
+
+let timed cell f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  cell := !cell +. (Unix.gettimeofday () -. t0);
+  r
+
+(* ---------------- phase 0 + 1 ---------------- *)
+
+let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
+    prepared =
+  let config =
+    match config with Some c -> c | None -> default_config ~workdir
+  in
+  let timing = { preprocess_s = 0.; compute_s = 0.; check_s = 0. } in
+  let pre = ref 0. and comp = ref 0. in
+  let program = timed pre (fun () ->
+      Jir.Unroll.unroll_program ~bound:config.unroll_bound program)
+  in
+  let icfet =
+    timed pre (fun () ->
+        let base = Cfet.default_config program in
+        let table = Hashtbl.create 16 in
+        List.iter
+          (fun (cls, m, e) -> Hashtbl.replace table (cls, m) e)
+          config.library_throwers;
+        let may_throw (c : Jir.Ast.call) =
+          match base.Cfet.may_throw c with
+          | Some e -> Some e
+          | None -> Hashtbl.find_opt table (c.Jir.Ast.target_class, c.Jir.Ast.mname)
+        in
+        Icfet.build ~config:{ base with Cfet.may_throw } program)
+  in
+  let callgraph = timed pre (fun () -> Jir.Callgraph.build program) in
+  let clones =
+    timed pre (fun () ->
+        Clone_tree.build ~max_instances:config.max_instances icfet callgraph)
+  in
+  let alias_graph =
+    timed pre (fun () ->
+        Alias_graph.build ~max_edges:config.max_graph_edges
+          ~track_null:config.track_null icfet clones)
+  in
+  let alias_workdir = Filename.concat config.workdir "alias" in
+  let engine_config = { config.engine with Engine.workdir = alias_workdir } in
+  let alias_engine =
+    Alias_engine.create ~config:engine_config
+      ~decode:(fun enc -> Icfet.constraint_of icfet enc)
+      ~workdir:alias_workdir ()
+  in
+  timed pre (fun () ->
+      Alias_graph.iter_edges alias_graph (fun e ->
+          Alias_engine.add_seed alias_engine ~src:e.Alias_graph.src
+            ~dst:e.Alias_graph.dst ~label:e.Alias_graph.label
+            ~enc:e.Alias_graph.enc));
+  timed comp (fun () -> Alias_engine.run alias_engine);
+  (* collect flowsTo facts rooted at allocation sites: the in-memory alias
+     results phase 2 queries (§2.2) *)
+  let flows : Dataflow_graph.flows = Hashtbl.create 1024 in
+  let n_alias_pairs = ref 0 in
+  timed comp (fun () ->
+      Alias_engine.iter_result_edges alias_engine (fun e ->
+          match e.Alias_engine.label with
+          | Pg.Flows_to -> (
+              match Alias_graph.info alias_graph e.Alias_engine.src with
+              | Alias_graph.Obj_vertex _ ->
+                  incr n_alias_pairs;
+                  let cur =
+                    Option.value ~default:[]
+                      (Hashtbl.find_opt flows e.Alias_engine.src)
+                  in
+                  Hashtbl.replace flows e.Alias_engine.src
+                    ((e.Alias_engine.dst, e.Alias_engine.enc) :: cur)
+              | Alias_graph.Var_vertex _ -> ())
+          | _ -> ()));
+  timing.preprocess_s <- !pre;
+  timing.compute_s <- !comp;
+  { config; program; icfet; callgraph; clones; alias_graph; alias_engine;
+    flows; n_alias_pairs = !n_alias_pairs; timing }
+
+(* ---------------- phases 2 and 3 for one property ---------------- *)
+
+type property_result = {
+  fsm : Fsm.t;
+  reports : Report.t list;
+  dataflow_engine : Dataflow_engine.t;
+  dataflow_graph : Dataflow_graph.t;
+}
+
+let context_strings (p : prepared) inst =
+  let rec go inst acc =
+    let i = Clone_tree.instance p.clones inst in
+    let meth_id =
+      Jir.Ast.meth_id (Icfet.cfet p.icfet i.Clone_tree.meth).Cfet.meth
+    in
+    match i.Clone_tree.parent with
+    | None -> meth_id :: acc
+    | Some (caller, _) -> go caller (meth_id :: acc)
+  in
+  go inst []
+
+(* A human-relevant witness: keep entry/method parameters (symbols of the
+   form Method::param with no statement suffix and no generated marker) and
+   order them by name. *)
+let witness_of_constraint (f : Smt.Formula.t) : (string * int) list =
+  match Smt.Solver.check_with_model f with
+  | Smt.Solver.Model_sat (Some model) ->
+      model
+      |> List.filter_map (fun (sym, v) ->
+             let name = Smt.Symbol.name sym in
+             if
+               String.length name > 0
+               && (not (String.contains name '@'))
+               && (not (String.contains name '$'))
+             then Some (name, v)
+             else None)
+      |> List.sort_uniq compare
+  | Smt.Solver.Model_sat None | Smt.Solver.Model_unsat
+  | Smt.Solver.Model_unknown ->
+      []
+
+let check_property (p : prepared) (fsm : Fsm.t) : property_result =
+  let comp = ref 0. and chk = ref 0. in
+  let dg =
+    timed comp (fun () ->
+        Dataflow_graph.build p.icfet p.clones p.alias_graph p.flows fsm)
+  in
+  let workdir = Filename.concat p.config.workdir ("df-" ^ fsm.Fsm.name) in
+  let engine_config = { p.config.engine with Engine.workdir } in
+  let engine =
+    Dataflow_engine.create ~config:engine_config
+      ~decode:(fun enc -> Icfet.constraint_of p.icfet enc)
+      ~workdir ()
+  in
+  List.iter
+    (fun (s : Dataflow_graph.seed) ->
+      Dataflow_engine.add_seed engine ~src:s.Dataflow_graph.src
+        ~dst:s.Dataflow_graph.dst ~label:s.Dataflow_graph.label
+        ~enc:s.Dataflow_graph.enc)
+    (Dataflow_graph.seeds dg);
+  timed comp (fun () -> Dataflow_engine.run engine);
+  (* phase 3: interpret Track edges against the FSM *)
+  let registry = Dataflow_graph.registry dg in
+  let by_source = Hashtbl.create 64 in
+  List.iter
+    (fun (tr : Dataflow_graph.tracked) ->
+      Hashtbl.replace by_source tr.Dataflow_graph.source_vertex tr)
+    (Dataflow_graph.tracked dg);
+  let reports = ref [] in
+  timed chk (fun () ->
+      Dataflow_engine.iter_result_edges engine (fun e ->
+          match
+            (e.Dataflow_engine.label, Hashtbl.find_opt by_source e.Dataflow_engine.src)
+          with
+          | Dg.Track f, Some tr ->
+              let state = Transfn.apply registry f fsm.Fsm.initial in
+              let mk kind site =
+                { Report.checker = fsm.Fsm.name;
+                  kind;
+                  cls = tr.Dataflow_graph.cls;
+                  alloc_at = tr.Dataflow_graph.at;
+                  site;
+                  context = context_strings p tr.Dataflow_graph.alloc_inst;
+                  witness =
+                    witness_of_constraint
+                      (Icfet.constraint_of p.icfet e.Dataflow_engine.enc);
+                  trace = Icfet.trace_of p.icfet e.Dataflow_engine.enc }
+              in
+              if state = fsm.Fsm.error then begin
+                let site =
+                  Option.map
+                    (fun (s : Jir.Ast.stmt) -> s.Jir.Ast.at)
+                    (Dataflow_graph.event_site dg e.Dataflow_engine.dst)
+                in
+                reports := mk (Report.Error_state (Fsm.state_name fsm state)) site
+                           :: !reports
+              end
+              else begin
+                (* leaks are reported at normal program exits only: paths
+                   that die from an uncaught exception terminate the
+                   process, which reclaims the resource *)
+                match Dataflow_graph.exit_kind dg e.Dataflow_engine.dst with
+                | Some Dataflow_graph.Exit_normal
+                  when not (Fsm.is_accepting fsm state) ->
+                    reports :=
+                      mk (Report.Leak (Fsm.state_name fsm state)) None
+                      :: !reports
+                | _ -> ()
+              end
+          | _ -> ()));
+  p.timing.compute_s <- p.timing.compute_s +. !comp;
+  p.timing.check_s <- p.timing.check_s +. !chk;
+  { fsm; reports = Report.dedup (List.rev !reports); dataflow_engine = engine;
+    dataflow_graph = dg }
+
+(* ---------------- aggregate statistics (Tables 3-5, Figure 9) -------- *)
+
+type stats = {
+  n_vertices : int;
+  n_edges_before : int;
+  n_edges_after : int;
+  preprocess_s : float;
+  compute_s : float;
+  total_s : float;
+  n_partitions : int;
+  n_iterations : int;
+  n_constraints_solved : int;
+  cache_lookups : int;
+  cache_hits : int;
+  solve_s : float;
+  breakdown : (string * float) list;
+}
+
+let combine_metrics (ms : Engine.Metrics.t list) : Engine.Metrics.t =
+  let out = Engine.Metrics.create () in
+  List.iter
+    (fun (m : Engine.Metrics.t) ->
+      out.Engine.Metrics.io_s <- out.Engine.Metrics.io_s +. m.Engine.Metrics.io_s;
+      out.Engine.Metrics.decode_s <-
+        out.Engine.Metrics.decode_s +. m.Engine.Metrics.decode_s;
+      out.Engine.Metrics.solve_s <-
+        out.Engine.Metrics.solve_s +. m.Engine.Metrics.solve_s;
+      out.Engine.Metrics.join_s <-
+        out.Engine.Metrics.join_s +. m.Engine.Metrics.join_s;
+      out.Engine.Metrics.constraints_solved <-
+        out.Engine.Metrics.constraints_solved + m.Engine.Metrics.constraints_solved;
+      out.Engine.Metrics.cache_lookups <-
+        out.Engine.Metrics.cache_lookups + m.Engine.Metrics.cache_lookups;
+      out.Engine.Metrics.cache_hits <-
+        out.Engine.Metrics.cache_hits + m.Engine.Metrics.cache_hits;
+      out.Engine.Metrics.edges_added <-
+        out.Engine.Metrics.edges_added + m.Engine.Metrics.edges_added;
+      out.Engine.Metrics.pairs_processed <-
+        out.Engine.Metrics.pairs_processed + m.Engine.Metrics.pairs_processed;
+      out.Engine.Metrics.repartitions <-
+        out.Engine.Metrics.repartitions + m.Engine.Metrics.repartitions;
+      out.Engine.Metrics.bytes_read <-
+        out.Engine.Metrics.bytes_read + m.Engine.Metrics.bytes_read;
+      out.Engine.Metrics.bytes_written <-
+        out.Engine.Metrics.bytes_written + m.Engine.Metrics.bytes_written)
+    ms;
+  out
+
+let stats (p : prepared) (props : property_result list) : stats =
+  let alias_m = Alias_engine.metrics p.alias_engine in
+  let df_ms =
+    List.map (fun pr -> Dataflow_engine.metrics pr.dataflow_engine) props
+  in
+  let m = combine_metrics (alias_m :: df_ms) in
+  let n_vertices =
+    Alias_graph.n_vertices p.alias_graph
+    + List.fold_left
+        (fun acc pr -> acc + Dataflow_graph.n_vertices pr.dataflow_graph)
+        0 props
+  in
+  let n_edges_before =
+    Alias_engine.n_seed_edges p.alias_engine
+    + List.fold_left
+        (fun acc pr -> acc + Dataflow_engine.n_seed_edges pr.dataflow_engine)
+        0 props
+  in
+  let n_edges_after =
+    Alias_engine.total_edges p.alias_engine
+    + List.fold_left
+        (fun acc pr -> acc + Dataflow_engine.total_edges pr.dataflow_engine)
+        0 props
+  in
+  let n_partitions =
+    Alias_engine.n_partitions p.alias_engine
+    + List.fold_left
+        (fun acc pr -> acc + Dataflow_engine.n_partitions pr.dataflow_engine)
+        0 props
+  in
+  { n_vertices;
+    n_edges_before;
+    n_edges_after;
+    preprocess_s = p.timing.preprocess_s;
+    compute_s = p.timing.compute_s;
+    total_s = p.timing.preprocess_s +. p.timing.compute_s +. p.timing.check_s;
+    n_partitions;
+    n_iterations = m.Engine.Metrics.pairs_processed;
+    n_constraints_solved = m.Engine.Metrics.constraints_solved;
+    cache_lookups = m.Engine.Metrics.cache_lookups;
+    cache_hits = m.Engine.Metrics.cache_hits;
+    solve_s = m.Engine.Metrics.solve_s;
+    breakdown = Engine.Metrics.breakdown m }
+
+(* Convenience wrapper: run every phase for a list of properties. *)
+let check ?config ~workdir program fsms =
+  let p = prepare ?config ~workdir program in
+  let results = List.map (check_property p) fsms in
+  (p, results)
+
+let cleanup (p : prepared) (props : property_result list) =
+  Alias_engine.cleanup p.alias_engine;
+  List.iter (fun pr -> Dataflow_engine.cleanup pr.dataflow_engine) props

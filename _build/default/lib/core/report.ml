@@ -1,0 +1,89 @@
+(* Bug reports produced by the checking phase. *)
+
+type kind =
+  | Error_state of string
+      (* the event sequence drives the object into the FSM's error state;
+         the payload names the state reached *)
+  | Leak of string
+      (* object reaches a program exit in the named non-accepting state *)
+  | Unhandled_exception of string
+      (* an explicitly thrown exception escapes every caller *)
+
+type t = {
+  checker : string;
+  kind : kind;
+  cls : string;               (* tracked class, or exception class *)
+  alloc_at : Jir.Ast.pos;     (* allocation site / throw site *)
+  site : Jir.Ast.pos option;  (* where the violation manifests, if distinct *)
+  context : string list;      (* call chain of the allocation's clone *)
+  witness : (string * int) list;
+      (* a concrete input assignment under which the buggy path is taken,
+         extracted from the path constraint's model (may be empty when the
+         solver could not reconstruct an integer witness) *)
+  trace : string list;
+      (* the control path recovered from the warning's encoding, one entry
+         per visited CFET node: "Method (file:lines)" *)
+}
+
+let kind_to_string = function
+  | Error_state s -> Printf.sprintf "error state (%s)" s
+  | Leak s -> Printf.sprintf "leak (ends in %s)" s
+  | Unhandled_exception e -> Printf.sprintf "unhandled exception %s" e
+
+(* Stable identity for deduplication: the same defect found along several
+   paths or clones (or manifesting at several sites) is one warning. *)
+let dedup_key (r : t) =
+  ( r.checker,
+    (match r.kind with
+    | Error_state _ -> "error"
+    | Leak _ -> "leak"
+    | Unhandled_exception e -> "exn:" ^ e),
+    r.cls,
+    r.alloc_at.Jir.Ast.file,
+    r.alloc_at.Jir.Ast.line )
+
+let dedup (reports : t list) : t list =
+  let seen = Hashtbl.create 64 in
+  let reports =
+    (* keep the variant that names a manifestation site when both exist *)
+    List.stable_sort
+      (fun a b ->
+        compare (Option.is_none a.site) (Option.is_none b.site))
+      reports
+  in
+  List.filter
+    (fun r ->
+      let k = dedup_key r in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    reports
+
+let pp ppf (r : t) =
+  Fmt.pf ppf "[%s] %s: %s allocated at %s:%d%a%a" r.checker
+    (kind_to_string r.kind) r.cls r.alloc_at.Jir.Ast.file
+    r.alloc_at.Jir.Ast.line
+    (fun ppf () ->
+      match r.site with
+      | Some p -> Fmt.pf ppf ", manifests at %s:%d" p.Jir.Ast.file p.Jir.Ast.line
+      | None -> ())
+    ()
+    (fun ppf () ->
+      match r.witness with
+      | [] -> ()
+      | w ->
+          Fmt.pf ppf " (e.g. when %a)"
+            (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (name, v) ->
+                 Fmt.pf ppf "%s = %d" name v))
+            w)
+    ()
+
+let to_string r = Fmt.str "%a" pp r
+
+(* Multi-line rendering including the recovered path, for the CLI's
+   --trace mode. *)
+let pp_with_trace ppf (r : t) =
+  pp ppf r;
+  List.iter (fun step -> Fmt.pf ppf "\n      via %s" step) r.trace

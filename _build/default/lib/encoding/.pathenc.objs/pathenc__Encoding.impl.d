@@ -1,0 +1,1 @@
+lib/encoding/encoding.ml: Buffer Bytes Char Fmt Hashtbl List Printf Stdlib

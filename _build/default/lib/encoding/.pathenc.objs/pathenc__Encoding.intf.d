@@ -1,0 +1,1 @@
+lib/encoding/encoding.mli: Buffer Bytes Format

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Domain Filename Format Hashtbl List Lru Metrics Option Pathenc Printf Queue Smt Storage Sys Unix

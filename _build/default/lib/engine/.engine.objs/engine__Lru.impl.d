@@ -1,0 +1,1 @@
+lib/engine/lru.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/engine/storage.ml: Buffer Bytes List Pathenc Sys

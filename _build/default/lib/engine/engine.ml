@@ -1,0 +1,670 @@
+(* Grapple's single-machine, disk-based graph engine (§4.3).
+
+   The engine performs constraint-guided dynamic transitive closure: the
+   input graph is partitioned by source-vertex intervals into on-disk edge
+   partitions; each scheduling step loads a pair of partitions, joins every
+   pair of consecutive edges whose labels compose under the client grammar
+   and whose conjoined path constraint is satisfiable, and flushes new edges
+   to the partitions owning their source vertices.  Oversized partitions are
+   split eagerly so that any two partitions fit in the memory budget.
+   Constraint results are memoized in an LRU cache keyed by path encoding.
+
+   The engine is a functor over the label logic, instantiated once with the
+   pointer-analysis grammar (phase 1) and once with the dataflow grammar
+   (phase 2). *)
+
+module Metrics = Metrics
+module Lru = Lru
+module Storage = Storage
+module Encoding = Pathenc.Encoding
+module Formula = Smt.Formula
+module Solver = Smt.Solver
+
+module type LABEL_LOGIC = sig
+  type t
+
+  val equal : t -> t -> bool
+  val to_int : t -> int
+  val of_int : int -> t
+  val compose : t -> t -> t option
+  val unary : t -> t list
+  val mirror : t -> t option
+  val is_result : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type config = {
+  workdir : string;
+  max_edges_per_partition : int;  (* memory budget, expressed in edges *)
+  target_partitions : int;        (* initial partitioning *)
+  cache_capacity : int;
+  cache_enabled : bool;
+  feasibility_enabled : bool;
+      (* false turns off path sensitivity: every composition succeeds *)
+  max_path_elements : int;
+      (* compositions whose encodings exceed this many elements are dropped,
+         bounding closure over recursive clone groups; 0 = unlimited *)
+  max_encodings_per_key : int;
+      (* distinct path encodings kept per (src, dst, label); further feasible
+         paths between the same endpoints with the same label are witnesses
+         of the same fact and are dropped; 0 = unlimited *)
+  solver_domains : int;
+      (* worker domains for parallel constraint solving ("multiple
+         edge-induction threads" of §4.3); 1 = sequential.  Decode/solve
+         timers are merged into the solve timer when > 1. *)
+}
+
+(* mkdir -p *)
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let default_config ~workdir =
+  { workdir;
+    max_edges_per_partition = 200_000;
+    target_partitions = 4;
+    cache_capacity = 65_536;
+    cache_enabled = true;
+    feasibility_enabled = true;
+    max_path_elements = 64;
+    max_encodings_per_key = 8;
+    solver_domains = 1 }
+
+module Make (L : LABEL_LOGIC) = struct
+  type edge = { src : int; dst : int; label : L.t; enc : Encoding.t }
+
+  type pmeta = {
+    pid : int;
+    lo : int;
+    hi : int;  (* owns source vertices in [lo, hi) *)
+    path : string;
+    mutable version : int;
+    mutable approx_edges : int;  (* includes not-yet-deduplicated appends *)
+  }
+
+  type loaded = {
+    meta : pmeta;
+    mutable all : edge list;
+    by_src : (int, edge list ref) Hashtbl.t;
+    by_dst : (int, edge list ref) Hashtbl.t;
+    present : (int * int * int * Encoding.t, unit) Hashtbl.t;
+    key_counts : (int * int * int, int) Hashtbl.t;
+        (* encodings already kept per (src, dst, label) *)
+    mutable count : int;
+    mutable dirty : bool;  (* contents differ from the on-disk file *)
+  }
+
+  type t = {
+    config : config;
+    decode : Encoding.t -> Formula.t;
+    metrics : Metrics.t;
+    cache : (Encoding.t, bool) Lru.t;
+    mutable parts : pmeta list;  (* sorted by [lo] *)
+    mutable next_pid : int;
+    mutable seeds : edge list;   (* only before [run] *)
+    mutable n_seed_edges : int;
+    mutable max_vertex : int;
+    mutable ran : bool;
+  }
+
+  let create ?(config : config option) ~decode ~workdir () =
+    let config =
+      match config with Some c -> c | None -> default_config ~workdir
+    in
+    ensure_dir config.workdir;
+    { config;
+      decode;
+      metrics = Metrics.create ();
+      cache = Lru.create (max 16 config.cache_capacity);
+      parts = [];
+      next_pid = 0;
+      seeds = [];
+      n_seed_edges = 0;
+      max_vertex = 0;
+      ran = false }
+
+  let metrics t = t.metrics
+
+  (* ---------------- feasibility with memoization ---------------- *)
+
+  let solve_one decode enc =
+    match Solver.check (decode enc) with
+    | Solver.Sat | Solver.Unknown -> true
+    | Solver.Unsat -> false
+
+  (* Decide a batch of (deduplicated, cache-missed) encodings, fanning the
+     work out over worker domains when configured.  Decoding and solving are
+     both pure over read-only state (the ICFET, the formula algebra), so the
+     only shared mutation is the solver's statistics counters, which are
+     tolerated as approximate under parallelism. *)
+  let solve_batch t (encs : Encoding.t list) : (Encoding.t * bool) list =
+    let n = List.length encs in
+    let domains = t.config.solver_domains in
+    (* spawning a domain costs ~an OS thread; only fan out when the batch
+       amortizes it *)
+    if domains <= 1 || n < 16 * domains then
+      List.map (fun enc -> (enc, solve_one t.decode enc)) encs
+    else begin
+      let arr = Array.of_list encs in
+      let chunk = (n + domains - 1) / domains in
+      let work lo =
+        let hi = min n (lo + chunk) in
+        let out = ref [] in
+        for i = lo to hi - 1 do
+          out := (arr.(i), solve_one t.decode arr.(i)) :: !out
+        done;
+        !out
+      in
+      let spawned =
+        List.init (domains - 1) (fun k ->
+            Domain.spawn (fun () -> work ((k + 1) * chunk)))
+      in
+      let mine = work 0 in
+      List.fold_left (fun acc d -> Domain.join d @ acc) mine spawned
+    end
+
+  let feasible t (enc : Encoding.t) : bool =
+    if not t.config.feasibility_enabled then true
+    else begin
+      let m = t.metrics in
+      m.Metrics.cache_lookups <- m.Metrics.cache_lookups + 1;
+      let cached = if t.config.cache_enabled then Lru.find t.cache enc else None in
+      match cached with
+      | Some answer ->
+          m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
+          answer
+      | None ->
+          let formula = Metrics.time m `Decode (fun () -> t.decode enc) in
+          let answer =
+            Metrics.time m `Solve (fun () ->
+                match Solver.check formula with
+                | Solver.Sat | Solver.Unknown -> true
+                | Solver.Unsat -> false)
+          in
+          m.Metrics.constraints_solved <- m.Metrics.constraints_solved + 1;
+          if t.config.cache_enabled then Lru.add t.cache enc answer;
+          answer
+    end
+
+  (* ---------------- seed edges and closure helpers ---------------- *)
+
+  (* The unary (e.g. New => FlowsTo) and mirror (FlowsTo => reversed
+     FlowsToBar) consequences of an edge; they share the edge's path, so no
+     new constraint check is needed. *)
+  let consequences (e : edge) : edge list =
+    let unary =
+      List.map (fun l -> { e with label = l }) (L.unary e.label)
+    in
+    let mirrors =
+      List.filter_map
+        (fun (d : edge) ->
+          match L.mirror d.label with
+          | Some l ->
+              Some { src = d.dst; dst = d.src; label = l; enc = Encoding.rev d.enc }
+          | None -> None)
+        (e :: unary)
+    in
+    unary @ mirrors
+
+  let add_seed t ~src ~dst ~label ~enc =
+    if t.ran then invalid_arg "Engine.add_seed: engine already ran";
+    let e = { src; dst; label; enc } in
+    t.max_vertex <- max t.max_vertex (max src dst);
+    t.seeds <- e :: t.seeds
+
+  (* ---------------- partition bookkeeping ---------------- *)
+
+  let part_path t pid = Filename.concat t.config.workdir
+      (Printf.sprintf "p%04d.edges" pid)
+
+  let fresh_pid t =
+    let pid = t.next_pid in
+    t.next_pid <- pid + 1;
+    pid
+
+  let owner t (v : int) : pmeta =
+    match List.find_opt (fun p -> v >= p.lo && v < p.hi) t.parts with
+    | Some p -> p
+    | None ->
+        invalid_arg (Printf.sprintf "Engine.owner: vertex %d out of range" v)
+
+  let edge_key (e : edge) = (e.src, e.dst, L.to_int e.label, e.enc)
+
+  let to_raw (e : edge) : Storage.raw_edge =
+    { Storage.src = e.src; dst = e.dst; label = L.to_int e.label; enc = e.enc }
+
+  let of_raw (r : Storage.raw_edge) : edge =
+    { src = r.Storage.src; dst = r.Storage.dst;
+      label = L.of_int r.Storage.label; enc = r.Storage.enc }
+
+  let load t (meta : pmeta) : loaded =
+    let raw, bytes =
+      Metrics.time t.metrics `Io (fun () -> Storage.read_file ~path:meta.path)
+    in
+    t.metrics.Metrics.bytes_read <- t.metrics.Metrics.bytes_read + bytes;
+    let l =
+      { meta; all = []; by_src = Hashtbl.create 1024;
+        by_dst = Hashtbl.create 1024; present = Hashtbl.create 4096;
+        key_counts = Hashtbl.create 4096; count = 0; dirty = false }
+    in
+    let n_raw = List.length raw in
+    List.iter
+      (fun r ->
+        let e = of_raw r in
+        let key = edge_key e in
+        if not (Hashtbl.mem l.present key) then begin
+          Hashtbl.replace l.present key ();
+          let ckey = (e.src, e.dst, L.to_int e.label) in
+          Hashtbl.replace l.key_counts ckey
+            (1 + Option.value ~default:0 (Hashtbl.find_opt l.key_counts ckey));
+          l.all <- e :: l.all;
+          l.count <- l.count + 1;
+          let push tbl k =
+            match Hashtbl.find_opt tbl k with
+            | Some r -> r := e :: !r
+            | None -> Hashtbl.replace tbl k (ref [ e ])
+          in
+          push l.by_src e.src;
+          push l.by_dst e.dst
+        end)
+      raw;
+    if l.count <> n_raw then l.dirty <- true;  (* appended duplicates *)
+    l
+
+  (* Insert an edge into a loaded partition; true if it is new.  An edge is
+     rejected (treated as already known) when its (src, dst, label) key has
+     already accumulated [max_encodings_per_key] distinct path encodings:
+     further encodings witness the same analysis fact. *)
+  let insert t (l : loaded) (e : edge) : bool =
+    let key = edge_key e in
+    if Hashtbl.mem l.present key then false
+    else begin
+      let ckey = (e.src, e.dst, L.to_int e.label) in
+      let kept = Option.value ~default:0 (Hashtbl.find_opt l.key_counts ckey) in
+      let cap = t.config.max_encodings_per_key in
+      if cap > 0 && kept >= cap then false
+      else begin
+        Hashtbl.replace l.present key ();
+        Hashtbl.replace l.key_counts ckey (kept + 1);
+        l.all <- e :: l.all;
+        l.count <- l.count + 1;
+        l.dirty <- true;
+        let push tbl k =
+          match Hashtbl.find_opt tbl k with
+          | Some r -> r := e :: !r
+          | None -> Hashtbl.replace tbl k (ref [ e ])
+        in
+        push l.by_src e.src;
+        push l.by_dst e.dst;
+        true
+      end
+    end
+
+  (* Write a loaded partition back, splitting it if it outgrew the memory
+     budget (eager repartitioning, §4.3). *)
+  let flush t (l : loaded) : unit =
+    let write_meta (meta : pmeta) edges =
+      let bytes =
+        Metrics.time t.metrics `Io (fun () ->
+            Storage.write_file ~path:meta.path (List.rev_map to_raw edges))
+      in
+      t.metrics.Metrics.bytes_written <- t.metrics.Metrics.bytes_written + bytes;
+      meta.approx_edges <- List.length edges
+    in
+    let needs_split =
+      l.count > t.config.max_edges_per_partition && l.meta.hi - l.meta.lo >= 2
+    in
+    if not needs_split then begin
+      if l.dirty then begin
+        write_meta l.meta l.all;
+        l.meta.version <- l.meta.version + 1
+      end
+    end
+    else begin
+      (* split at the weighted median source vertex *)
+      let srcs = List.map (fun e -> e.src) l.all in
+      let sorted = List.sort compare srcs in
+      let mid_src = List.nth sorted (l.count / 2) in
+      let cut =
+        (* cut strictly inside (lo, hi) so both halves are non-empty ranges *)
+        let c = max (l.meta.lo + 1) (min mid_src (l.meta.hi - 1)) in
+        c
+      in
+      let left, right = List.partition (fun e -> e.src < cut) l.all in
+      let mk lo hi edges =
+        let pid = fresh_pid t in
+        let meta =
+          { pid; lo; hi; path = part_path t pid; version = 0;
+            approx_edges = 0 }
+        in
+        write_meta meta edges;
+        meta
+      in
+      let ml = mk l.meta.lo cut left in
+      let mr = mk cut l.meta.hi right in
+      Storage.remove_file ~path:l.meta.path;
+      t.parts <-
+        List.sort
+          (fun a b -> compare a.lo b.lo)
+          (ml :: mr :: List.filter (fun p -> p.pid <> l.meta.pid) t.parts);
+      t.metrics.Metrics.repartitions <- t.metrics.Metrics.repartitions + 1
+    end
+
+  (* ---------------- preprocessing ---------------- *)
+
+  (* Partition the seed edges into [target_partitions] intervals of roughly
+     equal edge counts and write them to disk. *)
+  let preprocess t =
+    let seeds =
+      (* close seeds under unary/mirror, deduplicated *)
+      let seen = Hashtbl.create 4096 in
+      let out = ref [] in
+      let add e =
+        let key = edge_key e in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          out := e :: !out
+        end
+      in
+      List.iter
+        (fun e ->
+          add e;
+          List.iter add (consequences e))
+        t.seeds;
+      !out
+    in
+    t.seeds <- [];
+    t.n_seed_edges <- List.length seeds;
+    let sorted = List.sort (fun a b -> compare a.src b.src) seeds in
+    let n = List.length sorted in
+    let k = max 1 t.config.target_partitions in
+    let per = max 1 ((n + k - 1) / k) in
+    (* choose interval boundaries at multiples of [per], aligned to source
+       vertex changes so an interval never splits a vertex *)
+    let bounds = ref [] in
+    let () =
+      let i = ref 0 in
+      let last_src = ref (-1) in
+      List.iter
+        (fun e ->
+          if !i > 0 && !i mod per = 0 && e.src <> !last_src then
+            bounds := e.src :: !bounds;
+          last_src := e.src;
+          incr i)
+        sorted
+    in
+    let bounds = List.rev !bounds in
+    let lo_list = 0 :: bounds in
+    let hi_list = bounds @ [ t.max_vertex + 1 ] in
+    let metas =
+      List.map2
+        (fun lo hi ->
+          let pid = fresh_pid t in
+          { pid; lo; hi; path = part_path t pid; version = 0;
+            approx_edges = 0 })
+        lo_list hi_list
+    in
+    List.iter
+      (fun meta ->
+        let edges =
+          List.filter (fun e -> e.src >= meta.lo && e.src < meta.hi) sorted
+        in
+        let bytes =
+          Metrics.time t.metrics `Io (fun () ->
+              Storage.write_file ~path:meta.path (List.map to_raw edges))
+        in
+        t.metrics.Metrics.bytes_written <-
+          t.metrics.Metrics.bytes_written + bytes;
+        meta.approx_edges <- List.length edges)
+      metas;
+    t.parts <- metas
+
+  (* ---------------- the edge-pair-centric computation ---------------- *)
+
+  (* Join the loaded partitions to a local fixpoint.  [route] receives edges
+     owned by partitions that are not loaded. *)
+  (* How many queue entries are drained per batch before feasibility checks
+     are resolved (in parallel when [solver_domains] > 1). *)
+  let batch_size = 1024
+
+  let local_fixpoint t (loadeds : loaded list) ~route =
+    let m = t.metrics in
+    let find_loaded v =
+      List.find_opt (fun l -> v >= l.meta.lo && v < l.meta.hi) loadeds
+    in
+    let queue = Queue.create () in
+    List.iter (fun l -> List.iter (fun e -> Queue.add e queue) l.all) loadeds;
+    let add_new (e : edge) =
+      let enqueue_if_new l e = if insert t l e then Queue.add e queue in
+      match find_loaded e.src with
+      | Some l ->
+          if insert t l e then begin
+            m.Metrics.edges_added <- m.Metrics.edges_added + 1;
+            Queue.add e queue;
+            List.iter
+              (fun d ->
+                match find_loaded d.src with
+                | Some l' -> enqueue_if_new l' d
+                | None -> route d)
+              (consequences e)
+          end
+      | None ->
+          route e;
+          List.iter
+            (fun d ->
+              match find_loaded d.src with
+              | Some l' -> enqueue_if_new l' d
+              | None -> route d)
+            (consequences e)
+    in
+    (* candidates of one batch, awaiting a feasibility verdict *)
+    let candidates : edge list ref = ref [] in
+    let try_pair (e1 : edge) (e2 : edge) =
+      match L.compose e1.label e2.label with
+      | None -> ()
+      | Some l3 -> (
+          m.Metrics.edges_considered <- m.Metrics.edges_considered + 1;
+          match Encoding.compose_normalized e1.enc e2.enc with
+          | enc ->
+              let cap = t.config.max_path_elements in
+              if cap = 0 || Encoding.n_elements enc <= cap then
+                candidates :=
+                  { src = e1.src; dst = e2.dst; label = l3; enc } :: !candidates
+          | exception Encoding.Incomposable -> ())
+    in
+    (* resolve the collected candidates: cache hits immediately, the misses
+       as one (possibly parallel) solving batch *)
+    let resolve_batch () =
+      let cands = List.rev !candidates in
+      candidates := [];
+      if cands <> [] then begin
+        if not t.config.feasibility_enabled then List.iter add_new cands
+        else begin
+          let unknown = Hashtbl.create 64 in
+          List.iter
+            (fun (e : edge) ->
+              m.Metrics.cache_lookups <- m.Metrics.cache_lookups + 1;
+              match
+                if t.config.cache_enabled then Lru.find t.cache e.enc else None
+              with
+              | Some _ -> m.Metrics.cache_hits <- m.Metrics.cache_hits + 1
+              | None ->
+                  if not (Hashtbl.mem unknown e.enc) then
+                    Hashtbl.replace unknown e.enc ())
+            cands;
+          let to_solve = Hashtbl.fold (fun enc () acc -> enc :: acc) unknown [] in
+          let solved =
+            if t.config.solver_domains <= 1 then
+              List.map
+                (fun enc ->
+                  let formula =
+                    Metrics.time m `Decode (fun () -> t.decode enc)
+                  in
+                  ( enc,
+                    Metrics.time m `Solve (fun () ->
+                        match Solver.check formula with
+                        | Solver.Sat | Solver.Unknown -> true
+                        | Solver.Unsat -> false) ))
+                to_solve
+            else
+              (* parallel: decode+solve timed together under the solve
+                 timer (per-domain timers cannot be split) *)
+              Metrics.time m `Solve (fun () -> solve_batch t to_solve)
+          in
+          m.Metrics.constraints_solved <-
+            m.Metrics.constraints_solved + List.length solved;
+          let verdicts = Hashtbl.create 64 in
+          List.iter
+            (fun (enc, ok) ->
+              Hashtbl.replace verdicts enc ok;
+              if t.config.cache_enabled then Lru.add t.cache enc ok)
+            solved;
+          List.iter
+            (fun (e : edge) ->
+              let ok =
+                match Hashtbl.find_opt verdicts e.enc with
+                | Some ok -> ok
+                | None ->
+                    (* encoding not in this batch (e.g. cache-evicted
+                       between collection and application): fall back to
+                       the single-encoding path *)
+                    feasible t e.enc
+              in
+              if ok then add_new e)
+            cands
+        end
+      end
+    in
+    Metrics.time m `Join (fun () ->
+        while not (Queue.is_empty queue) do
+          let drained = ref 0 in
+          while (not (Queue.is_empty queue)) && !drained < batch_size do
+            incr drained;
+            let e = Queue.pop queue in
+            (* as the left edge of a pair *)
+            (match find_loaded e.dst with
+            | Some l -> (
+                match Hashtbl.find_opt l.by_src e.dst with
+                | Some outs -> List.iter (fun e2 -> try_pair e e2) !outs
+                | None -> ())
+            | None -> ());
+            (* as the right edge of a pair *)
+            List.iter
+              (fun l ->
+                match Hashtbl.find_opt l.by_dst e.src with
+                | Some ins -> List.iter (fun e1 -> try_pair e1 e) !ins
+                | None -> ())
+              loadeds
+          done;
+          resolve_batch ()
+        done)
+
+  (* Append externally-routed edges to the partitions owning them.  Owners
+     are resolved here, after any splits performed by [flush], so an edge is
+     never appended to a stale partition. *)
+  let flush_external t (pending : edge list) =
+    let by_owner : (int, edge list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let meta = owner t e.src in
+        match Hashtbl.find_opt by_owner meta.pid with
+        | Some r -> r := e :: !r
+        | None -> Hashtbl.replace by_owner meta.pid (ref [ e ]))
+      pending;
+    Hashtbl.iter
+      (fun pid edges ->
+        match List.find_opt (fun p -> p.pid = pid) t.parts with
+        | None -> assert false
+        | Some meta ->
+            let bytes =
+              Metrics.time t.metrics `Io (fun () ->
+                  Storage.append_file ~path:meta.path
+                    (List.map to_raw !edges))
+            in
+            t.metrics.Metrics.bytes_written <-
+              t.metrics.Metrics.bytes_written + bytes;
+            meta.approx_edges <- meta.approx_edges + List.length !edges;
+            meta.version <- meta.version + 1)
+      by_owner
+
+  (* Process one scheduled pair of partitions. *)
+  let process_pair t (pa : pmeta) (pb : pmeta) : unit =
+    t.metrics.Metrics.pairs_processed <- t.metrics.Metrics.pairs_processed + 1;
+    let loadeds =
+      if pa.pid = pb.pid then [ load t pa ] else [ load t pa; load t pb ]
+    in
+    let pending = ref [] in
+    let route (e : edge) =
+      pending := e :: !pending;
+      t.metrics.Metrics.edges_added <- t.metrics.Metrics.edges_added + 1
+    in
+    local_fixpoint t loadeds ~route;
+    List.iter (fun l -> flush t l) loadeds;
+    flush_external t !pending
+
+  (* Run to global fixpoint. *)
+  let run t =
+    if t.ran then invalid_arg "Engine.run: already ran";
+    t.ran <- true;
+    preprocess t;
+    let processed : (int * int, int * int) Hashtbl.t = Hashtbl.create 256 in
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      (* snapshot: [t.parts] changes under our feet when partitions split *)
+      let snapshot = t.parts in
+      List.iteri
+        (fun i pa ->
+          List.iteri
+            (fun j pb ->
+              if j >= i then begin
+                let alive p = List.exists (fun q -> q.pid = p.pid) t.parts in
+                if alive pa && alive pb then begin
+                  let key = (min pa.pid pb.pid, max pa.pid pb.pid) in
+                  let vers = (pa.version, pb.version) in
+                  let needs =
+                    match Hashtbl.find_opt processed key with
+                    | None -> true
+                    | Some v -> v <> vers
+                  in
+                  if needs then begin
+                    continue := true;
+                    process_pair t pa pb;
+                    (* versions may have advanced during processing *)
+                    let cur p =
+                      match List.find_opt (fun q -> q.pid = p.pid) t.parts with
+                      | Some q -> q.version
+                      | None -> -1
+                    in
+                    Hashtbl.replace processed key (cur pa, cur pb)
+                  end
+                end
+              end)
+            snapshot)
+        snapshot
+    done
+
+  (* ---------------- results ---------------- *)
+
+  let n_partitions t = List.length t.parts
+  let n_seed_edges t = t.n_seed_edges
+
+  (* Exact total edge count: loads each partition (deduplicating). *)
+  let fold_edges t f acc =
+    List.fold_left
+      (fun acc meta ->
+        let l = load t meta in
+        List.fold_left (fun acc e -> f acc e) acc l.all)
+      acc t.parts
+
+  let total_edges t = fold_edges t (fun n _ -> n + 1) 0
+
+  let iter_result_edges t f =
+    fold_edges t (fun () e -> if L.is_result e.label then f e) ()
+
+  (* Delete the working directory contents created by this engine. *)
+  let cleanup t =
+    List.iter (fun p -> Storage.remove_file ~path:p.path) t.parts
+end

@@ -1,0 +1,20 @@
+(** Fixed-capacity LRU map used for constraint memoization (paper,
+    Section 4.3, "Constraint Memoization").  All operations are O(1). *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** [create capacity] — raises [Invalid_argument] when [capacity <= 0]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; refreshes the key's recency on a hit. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or update; evicts the least recently used entry when full. *)
+
+val size : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit
+
+val keys : ('k, 'v) t -> 'k list
+(** Keys from most to least recently used; intended for tests. *)

@@ -1,0 +1,58 @@
+(* Wall-clock and counter instrumentation for the engine, split into the
+   four components of the paper's Figure 9: I/O, constraint
+   encoding/decoding, SMT solving, and (in-memory) edge-pair computation. *)
+
+type t = {
+  mutable io_s : float;
+  mutable decode_s : float;
+  mutable solve_s : float;
+  mutable join_s : float;
+  mutable constraints_solved : int;   (* actual solver invocations *)
+  mutable cache_lookups : int;
+  mutable cache_hits : int;
+  mutable edges_added : int;          (* transitive edges that survived *)
+  mutable edges_considered : int;     (* candidate pairs that matched grammar *)
+  mutable pairs_processed : int;      (* partition-pair loads: "iterations" *)
+  mutable repartitions : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create () =
+  { io_s = 0.; decode_s = 0.; solve_s = 0.; join_s = 0.;
+    constraints_solved = 0; cache_lookups = 0; cache_hits = 0;
+    edges_added = 0; edges_considered = 0; pairs_processed = 0;
+    repartitions = 0; bytes_read = 0; bytes_written = 0 }
+
+let time (m : t) (field : [ `Io | `Decode | `Solve | `Join ]) f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match field with
+  | `Io -> m.io_s <- m.io_s +. dt
+  | `Decode -> m.decode_s <- m.decode_s +. dt
+  | `Solve -> m.solve_s <- m.solve_s +. dt
+  | `Join -> m.join_s <- m.join_s +. dt);
+  r
+
+let hit_rate (m : t) =
+  if m.cache_lookups = 0 then 0.
+  else float_of_int m.cache_hits /. float_of_int m.cache_lookups
+
+(* The Figure 9 percentages.  The join timer runs around the whole pair
+   computation, so subtract the nested decode/solve time from it. *)
+let breakdown (m : t) : (string * float) list =
+  let join = Float.max 0. (m.join_s -. m.decode_s -. m.solve_s) in
+  let total = m.io_s +. m.decode_s +. m.solve_s +. join in
+  let pct x = if total = 0. then 0. else 100. *. x /. total in
+  [ ("I/O", pct m.io_s);
+    ("Constraint lookup", pct m.decode_s);
+    ("SMT solving", pct m.solve_s);
+    ("Edge computation", pct join) ]
+
+let pp ppf (m : t) =
+  Fmt.pf ppf
+    "io=%.2fs decode=%.2fs solve=%.2fs join=%.2fs solved=%d hits=%d/%d \
+     edges+=%d pairs=%d repart=%d"
+    m.io_s m.decode_s m.solve_s m.join_s m.constraints_solved m.cache_hits
+    m.cache_lookups m.edges_added m.pairs_processed m.repartitions

@@ -1,0 +1,59 @@
+(* On-disk edge storage for partitions.  A partition file is a flat sequence
+   of records: varint source, varint destination, varint label code, then the
+   edge's path encoding in [Encoding] wire format.  Files are written
+   buffered and read back in one slurp: the engine's access pattern is
+   strictly sequential (paper §4.3: "most edge accesses are sequential"). *)
+
+module Encoding = Pathenc.Encoding
+
+type raw_edge = { src : int; dst : int; label : int; enc : Encoding.t }
+
+let write_edge buf (e : raw_edge) =
+  Encoding.add_varint buf e.src;
+  Encoding.add_varint buf e.dst;
+  Encoding.add_varint buf e.label;
+  Encoding.write buf e.enc
+
+let edges_to_buffer (edges : raw_edge list) : Buffer.t =
+  let buf = Buffer.create 65536 in
+  List.iter (write_edge buf) edges;
+  buf
+
+(* Replace the file contents with [edges]; returns bytes written. *)
+let write_file ~path (edges : raw_edge list) : int =
+  let buf = edges_to_buffer edges in
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Buffer.length buf
+
+(* Append [edges]; returns bytes written. *)
+let append_file ~path (edges : raw_edge list) : int =
+  let buf = edges_to_buffer edges in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Buffer.length buf
+
+(* Read every record; returns the edges in file order and the byte size. *)
+let read_file ~path : raw_edge list * int =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let bytes = Bytes.create len in
+    really_input ic bytes 0 len;
+    close_in ic;
+    let pos = ref 0 in
+    let acc = ref [] in
+    while !pos < len do
+      let src = Encoding.read_varint bytes pos in
+      let dst = Encoding.read_varint bytes pos in
+      let label = Encoding.read_varint bytes pos in
+      let enc = Encoding.read bytes pos in
+      acc := { src; dst; label; enc } :: !acc
+    done;
+    (List.rev !acc, len)
+  end
+
+let remove_file ~path = if Sys.file_exists path then Sys.remove path

@@ -1,0 +1,155 @@
+(* Finite-state-machine property specifications (paper §2, Figures 2/3a).
+
+   A property names the object types it tracks, the FSM states and the
+   transitions among them driven by method-call events on the tracked
+   object, plus which states are acceptable at end of life.  Typestate
+   semantics: an event with no declared transition from the current state
+   drives the object into the distinguished [error] state, which is
+   absorbing. *)
+
+type state = int
+
+type t = {
+  name : string;
+  tracked_classes : string list;  (* allocation types to track *)
+  state_names : string array;     (* index = state id *)
+  initial : state;
+  error : state;
+  transitions : (state * string, state) Hashtbl.t;  (* (from, event) -> to *)
+  accepting : state list;         (* states legal at object end-of-life *)
+  events : string list;           (* all event method names, deduplicated *)
+  ignore_unknown_events : bool;
+      (* if true, events with no transition from a state leave the state
+         unchanged instead of going to error; used for properties that only
+         constrain a subset of the API *)
+}
+
+type builder = {
+  b_name : string;
+  mutable b_classes : string list;
+  mutable b_states : string list;  (* reverse order *)
+  mutable b_initial : string option;
+  mutable b_accepting : string list;
+  mutable b_transitions : (string * string * string) list;  (* from,event,to *)
+  mutable b_ignore_unknown : bool;
+}
+
+let builder name =
+  { b_name = name; b_classes = []; b_states = []; b_initial = None;
+    b_accepting = []; b_transitions = []; b_ignore_unknown = true }
+
+let track b cls = b.b_classes <- cls :: b.b_classes
+
+let state b name =
+  if not (List.mem name b.b_states) then b.b_states <- name :: b.b_states
+
+let initial b name =
+  state b name;
+  b.b_initial <- Some name
+
+let accepting b name =
+  state b name;
+  b.b_accepting <- name :: b.b_accepting
+
+let on b ~from ~event ~goto =
+  state b from;
+  state b goto;
+  b.b_transitions <- (from, event, goto) :: b.b_transitions
+
+let strict_events b = b.b_ignore_unknown <- false
+
+exception Invalid_spec of string
+
+let build (b : builder) : t =
+  let states = List.rev b.b_states in
+  let states = states @ (if List.mem "Error" states then [] else [ "Error" ]) in
+  let state_names = Array.of_list states in
+  let id_of name =
+    let rec go i =
+      if i >= Array.length state_names then
+        raise (Invalid_spec ("unknown state " ^ name))
+      else if state_names.(i) = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let initial =
+    match b.b_initial with
+    | Some s -> id_of s
+    | None -> raise (Invalid_spec ("no initial state in " ^ b.b_name))
+  in
+  if b.b_classes = [] then
+    raise (Invalid_spec ("no tracked classes in " ^ b.b_name));
+  let transitions = Hashtbl.create 32 in
+  List.iter
+    (fun (from, event, goto) ->
+      let key = (id_of from, event) in
+      (match Hashtbl.find_opt transitions key with
+      | Some prev when prev <> id_of goto ->
+          raise
+            (Invalid_spec
+               (Printf.sprintf "nondeterministic transition %s --%s--> {%s,%s}"
+                  from event state_names.(prev) goto))
+      | _ -> ());
+      Hashtbl.replace transitions key (id_of goto))
+    b.b_transitions;
+  let events =
+    List.sort_uniq compare (List.map (fun (_, e, _) -> e) b.b_transitions)
+  in
+  { name = b.b_name;
+    tracked_classes = List.rev b.b_classes;
+    state_names;
+    initial;
+    error = id_of "Error";
+    transitions;
+    accepting = List.map id_of (List.sort_uniq compare b.b_accepting);
+    events;
+    ignore_unknown_events = b.b_ignore_unknown }
+
+let n_states (t : t) = Array.length t.state_names
+
+let state_name (t : t) s = t.state_names.(s)
+
+let is_accepting (t : t) s = List.mem s t.accepting
+
+let is_tracked (t : t) cls = List.mem cls t.tracked_classes
+
+let is_event (t : t) event = List.mem event t.events
+
+(* One step of the FSM.  Error is absorbing; unknown events either stall or
+   fail according to the spec. *)
+let step (t : t) (s : state) (event : string) : state =
+  if s = t.error then t.error
+  else
+    match Hashtbl.find_opt t.transitions (s, event) with
+    | Some s' -> s'
+    | None -> if t.ignore_unknown_events then s else t.error
+
+(* The transition function of [event] as a vector usable with [Transfn]. *)
+let event_vector (t : t) (event : string) : int array =
+  Array.init (n_states t) (fun s -> step t s event)
+
+(* Run a whole event sequence from the initial state. *)
+let run (t : t) (events : string list) : state =
+  List.fold_left (fun s e -> step t s e) t.initial events
+
+(* A sequence is buggy if it reaches Error or ends in a non-accepting
+   state. *)
+type verdict = Ok_ | Reaches_error | Bad_final of state
+
+let check_sequence (t : t) (events : string list) : verdict =
+  let rec go s = function
+    | [] -> if is_accepting t s then Ok_ else Bad_final s
+    | e :: rest ->
+        let s' = step t s e in
+        if s' = t.error then Reaches_error else go s' rest
+  in
+  go t.initial events
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "@[<v>FSM %s tracking %a@ initial=%s accepting={%a}@]" t.name
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    t.tracked_classes
+    (state_name t t.initial)
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    (List.map (state_name t) t.accepting)

@@ -1,0 +1,72 @@
+(** Finite-state-machine property specifications (paper, Section 2,
+    Figures 2 and 3a).
+
+    A property names the object classes it tracks, the FSM states, the
+    transitions driven by method-call events on a tracked object, and the
+    states acceptable at the object's end of life.  Typestate semantics: the
+    distinguished [Error] state is absorbing; an event with no declared
+    transition either stalls (default) or errs ({!strict_events}). *)
+
+type state = int
+
+type t = private {
+  name : string;
+  tracked_classes : string list;
+  state_names : string array;
+  initial : state;
+  error : state;
+  transitions : (state * string, state) Hashtbl.t;
+  accepting : state list;
+  events : string list;
+  ignore_unknown_events : bool;
+}
+
+(** {1 Building specifications} *)
+
+type builder
+
+exception Invalid_spec of string
+
+val builder : string -> builder
+val track : builder -> string -> unit
+(** Add an object class whose allocations the property tracks. *)
+
+val state : builder -> string -> unit
+val initial : builder -> string -> unit
+val accepting : builder -> string -> unit
+val on : builder -> from:string -> event:string -> goto:string -> unit
+
+val strict_events : builder -> unit
+(** Make events without a declared transition drive the object to [Error]
+    instead of leaving the state unchanged. *)
+
+val build : builder -> t
+(** Raises {!Invalid_spec} on a missing initial state, no tracked classes,
+    or nondeterministic transitions.  An [Error] state is added if the
+    specification does not declare one. *)
+
+(** {1 Queries} *)
+
+val n_states : t -> int
+val state_name : t -> state -> string
+val is_accepting : t -> state -> bool
+val is_tracked : t -> string -> bool
+val is_event : t -> string -> bool
+
+(** {1 Typestate semantics} *)
+
+val step : t -> state -> string -> state
+val run : t -> string list -> state
+(** [run t events] folds {!step} from the initial state. *)
+
+val event_vector : t -> string -> int array
+(** The transition function of one event as a vector indexed by state,
+    suitable for {!Cfl.Transfn.intern}. *)
+
+type verdict = Ok_ | Reaches_error | Bad_final of state
+
+val check_sequence : t -> string list -> verdict
+(** Classify a complete event sequence: reaches [Error], ends in a
+    non-accepting state, or is fine. *)
+
+val pp : Format.formatter -> t -> unit

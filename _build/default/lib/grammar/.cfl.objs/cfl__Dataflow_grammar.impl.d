@@ -1,0 +1,1 @@
+lib/grammar/dataflow_grammar.ml: Fmt Hashtbl Stdlib Transfn

@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Fmt Hashtbl List Option Printf String

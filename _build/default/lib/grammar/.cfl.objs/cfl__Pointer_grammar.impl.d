@@ -1,0 +1,1 @@
+lib/grammar/pointer_grammar.ml: Fmt Grammar Hashtbl List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/grammar/transfn.ml: Array Fmt Hashtbl

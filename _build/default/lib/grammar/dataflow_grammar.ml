@@ -1,0 +1,57 @@
+(* Labels of the dataflow (typestate) graph, the second program graph of the
+   paper's workflow (§2.2).  Control-flow hop edges carry the FSM transition
+   function their segment applies ([Step]); the distinguished edge leaving a
+   tracked allocation carries [Track].  The grammar is the left-linear
+   closure
+
+     Track ::= Track Step | TrackSeed
+
+   so the engine grows object-rooted paths one control hop at a time and a
+   transitive edge (alloc --Track f--> point) states: the object can reach
+   this program point with its FSM driven by f (apply f to the initial
+   state).  Composing two Steps is deliberately not a production: paths not
+   anchored at an allocation are irrelevant, and omitting the rule keeps the
+   closure linear in the reachable frontier (Graspan treats its dataflow
+   grammar the same way). *)
+
+type t =
+  | Track of int  (* transition-function id accumulated from the alloc *)
+  | Step of int   (* transition function of one control-flow hop *)
+
+let equal (a : t) (b : t) = a = b
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let to_int = function
+  | Track f -> f lsl 1
+  | Step f -> (f lsl 1) lor 1
+
+let of_int n = if n land 1 = 0 then Track (n lsr 1) else Step (n lsr 1)
+
+(* Composition needs the transition-function registry of the property being
+   checked; the engine is instantiated per run, so the registry is passed at
+   functor-instantiation time via this module-level cell. *)
+let registry : Transfn.registry option ref = ref None
+
+let set_registry r = registry := Some r
+
+let get_registry () =
+  match !registry with
+  | Some r -> r
+  | None -> invalid_arg "Dataflow_grammar: registry not set"
+
+let compose (a : t) (b : t) : t option =
+  match (a, b) with
+  | Track f, Step g -> Some (Track (Transfn.compose (get_registry ()) f g))
+  | Track _, Track _ | Step _, (Step _ | Track _) -> None
+
+let unary (_ : t) : t list = []
+let mirror (_ : t) : t option = None
+
+let is_result = function Track _ -> true | Step _ -> false
+
+let pp ppf = function
+  | Track f -> Fmt.pf ppf "track#%d" f
+  | Step f -> Fmt.pf ppf "step#%d" f
+
+let to_string l = Fmt.str "%a" pp l

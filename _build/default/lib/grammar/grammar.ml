@@ -1,0 +1,129 @@
+(* Generic context-free grammars over interned symbols, with normalization
+   into the binary form Grapple's engine consumes (§4.2: "any context-free
+   grammar can be transformed into an equivalent grammar such that the right
+   hand side of each production rule contains only two terms").
+
+   The engine does not interpret productions directly; it asks three
+   questions, answered by [composition_tables]:
+     - compose:  which symbols label a path made of an X-edge then a Y-edge?
+     - unary:    which symbols are implied by a single X-edge?
+     - (reversal is analysis-specific and lives with the label logic)     *)
+
+type symbol = int
+
+type t = {
+  names : (string, symbol) Hashtbl.t;
+  of_symbol : (symbol, string) Hashtbl.t;
+  mutable next : symbol;
+  mutable productions : (symbol * symbol list) list;  (* lhs ::= rhs *)
+}
+
+let create () =
+  { names = Hashtbl.create 32;
+    of_symbol = Hashtbl.create 32;
+    next = 0;
+    productions = [] }
+
+let symbol g name =
+  match Hashtbl.find_opt g.names name with
+  | Some s -> s
+  | None ->
+      let s = g.next in
+      g.next <- g.next + 1;
+      Hashtbl.replace g.names name s;
+      Hashtbl.replace g.of_symbol s name;
+      s
+
+let name g s =
+  match Hashtbl.find_opt g.of_symbol s with
+  | Some n -> n
+  | None -> Printf.sprintf "S%d" s
+
+let add_production g ~lhs ~rhs = g.productions <- (lhs, rhs) :: g.productions
+
+let parse_production g line =
+  (* "A ::= B C" or "A ::= B" or "A ::=" *)
+  match String.split_on_char ':' line with
+  | [ lhs; ""; rhs ] ->
+      let lhs = String.trim lhs in
+      let rhs =
+        String.split_on_char ' ' (String.trim (String.sub rhs 1 (String.length rhs - 1)))
+        |> List.filter (fun s -> s <> "")
+      in
+      add_production g ~lhs:(symbol g lhs) ~rhs:(List.map (symbol g) rhs)
+  | _ -> invalid_arg ("Grammar.parse_production: " ^ line)
+
+(* Normalize so every production has at most two RHS symbols, introducing
+   fresh nonterminals for longer bodies. *)
+let normalize (g : t) : unit =
+  let fresh_count = ref 0 in
+  let fresh () =
+    incr fresh_count;
+    symbol g (Printf.sprintf "@N%d" !fresh_count)
+  in
+  let rec norm lhs rhs acc =
+    match rhs with
+    | [] | [ _ ] | [ _; _ ] -> (lhs, rhs) :: acc
+    | a :: b :: rest ->
+        let n = fresh () in
+        norm lhs (n :: rest) ((n, [ a; b ]) :: acc)
+  in
+  g.productions <-
+    List.fold_left (fun acc (lhs, rhs) -> norm lhs rhs acc) [] g.productions
+
+type tables = {
+  compose : (symbol * symbol, symbol list) Hashtbl.t;
+  unary : (symbol, symbol list) Hashtbl.t;
+  nullable : symbol list;
+}
+
+(* Build the binary/unary composition tables of a normalized grammar. *)
+let composition_tables (g : t) : tables =
+  let compose = Hashtbl.create 64 in
+  let unary = Hashtbl.create 64 in
+  let nullable = ref [] in
+  let push tbl key v =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    if not (List.mem v cur) then Hashtbl.replace tbl key (v :: cur)
+  in
+  List.iter
+    (fun (lhs, rhs) ->
+      match rhs with
+      | [] -> if not (List.mem lhs !nullable) then nullable := lhs :: !nullable
+      | [ a ] -> if a <> lhs then push unary a lhs
+      | [ a; b ] -> push compose (a, b) lhs
+      | _ -> invalid_arg "Grammar.composition_tables: not normalized")
+    g.productions;
+  (* close the unary table transitively: A -> B and B -> C give A -> C *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun a bs ->
+        List.iter
+          (fun b ->
+            List.iter
+              (fun c ->
+                let cur = Option.value ~default:[] (Hashtbl.find_opt unary a) in
+                if not (List.mem c cur) then begin
+                  Hashtbl.replace unary a (c :: cur);
+                  changed := true
+                end)
+              (Option.value ~default:[] (Hashtbl.find_opt unary b)))
+          bs)
+      unary
+  done;
+  { compose; unary; nullable = !nullable }
+
+let compose tables a b =
+  Option.value ~default:[] (Hashtbl.find_opt tables.compose (a, b))
+
+let unary tables a = Option.value ~default:[] (Hashtbl.find_opt tables.unary a)
+
+let pp ppf g =
+  List.iter
+    (fun (lhs, rhs) ->
+      Fmt.pf ppf "%s ::= %a@\n" (name g lhs)
+        (Fmt.list ~sep:(Fmt.any " ") Fmt.string)
+        (List.map (name g) rhs))
+    (List.rev g.productions)

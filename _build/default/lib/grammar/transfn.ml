@@ -1,0 +1,72 @@
+(* Interned total functions over a small state space 0..n-1, represented as
+   vectors.  The dataflow phase labels every control-flow edge with the
+   transition function its events apply to the tracked object's FSM state;
+   functions form a finite monoid under composition, so labels stay dense
+   integers and composition is a table lookup.  Identity is always id 0. *)
+
+type registry = {
+  n_states : int;
+  mutable vectors : int array array;  (* id -> vector *)
+  mutable count : int;
+  index : (int array, int) Hashtbl.t;
+  compose_cache : (int * int, int) Hashtbl.t;
+}
+
+let create ~n_states =
+  let identity = Array.init n_states (fun i -> i) in
+  let r =
+    { n_states;
+      vectors = Array.make 16 identity;
+      count = 0;
+      index = Hashtbl.create 64;
+      compose_cache = Hashtbl.create 256 }
+  in
+  let id0 = ref (-1) in
+  (* intern the identity as id 0 *)
+  (match Hashtbl.find_opt r.index identity with
+  | Some i -> id0 := i
+  | None ->
+      r.vectors.(0) <- identity;
+      Hashtbl.replace r.index identity 0;
+      r.count <- 1;
+      id0 := 0);
+  assert (!id0 = 0);
+  r
+
+let identity_id = 0
+
+let intern (r : registry) (vec : int array) : int =
+  if Array.length vec <> r.n_states then
+    invalid_arg "Transfn.intern: wrong arity";
+  match Hashtbl.find_opt r.index vec with
+  | Some id -> id
+  | None ->
+      let id = r.count in
+      if id >= Array.length r.vectors then begin
+        let bigger = Array.make (2 * Array.length r.vectors) r.vectors.(0) in
+        Array.blit r.vectors 0 bigger 0 (Array.length r.vectors);
+        r.vectors <- bigger
+      end;
+      r.vectors.(id) <- Array.copy vec;
+      Hashtbl.replace r.index r.vectors.(id) id;
+      r.count <- id + 1;
+      id
+
+let vector (r : registry) id = r.vectors.(id)
+
+let apply (r : registry) id state = r.vectors.(id).(state)
+
+(* compose f-then-g: the function applying f first, then g. *)
+let compose (r : registry) f g =
+  match Hashtbl.find_opt r.compose_cache (f, g) with
+  | Some id -> id
+  | None ->
+      let vf = r.vectors.(f) and vg = r.vectors.(g) in
+      let id = intern r (Array.map (fun s -> vg.(s)) vf) in
+      Hashtbl.replace r.compose_cache (f, g) id;
+      id
+
+let count (r : registry) = r.count
+
+let pp (r : registry) ppf id =
+  Fmt.pf ppf "[%a]" (Fmt.array ~sep:(Fmt.any " ") Fmt.int) (vector r id)

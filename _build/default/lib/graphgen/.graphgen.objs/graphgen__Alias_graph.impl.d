@@ -1,0 +1,1 @@
+lib/graphgen/alias_graph.ml: Array Cfl Clone_tree Fmt Hashtbl Jir List Pathenc Smt Symexec Varver

@@ -1,0 +1,1 @@
+lib/graphgen/clone_tree.ml: Array Hashtbl Jir List Option Queue Symexec

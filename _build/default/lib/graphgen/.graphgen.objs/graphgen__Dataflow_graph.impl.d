@@ -1,0 +1,1 @@
+lib/graphgen/dataflow_graph.ml: Alias_graph Array Cfl Clone_tree Fsm Hashtbl Jir List Option Pathenc Symexec Varver

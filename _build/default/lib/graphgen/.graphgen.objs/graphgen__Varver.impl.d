@@ -1,0 +1,1 @@
+lib/graphgen/varver.ml: Hashtbl Jir List Option

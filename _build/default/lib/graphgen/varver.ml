@@ -1,0 +1,93 @@
+(* Per-node variable versioning: a light SSA-style numbering of variable
+   definitions inside one CFET node (statements in a node are straight-line,
+   and a CFET node has exactly one tree path leading to it, so versions make
+   kills exact).
+
+   Version 0 of a variable in a node is the value flowing in from its
+   nearest occurrence in an ancestor node; each definition inside the node
+   bumps the version.  Program-graph vertices are (variable, node, version),
+   which stops a redefinition (e.g. the re-allocation in the second copy of
+   an unrolled loop body) from conflating with the previous object. *)
+
+type t = {
+  use_version : (int * string, int) Hashtbl.t;  (* (sid, var) -> version read *)
+  def_version : (int * string, int) Hashtbl.t;  (* (sid, var) -> version written *)
+  entry_uses : (string, unit) Hashtbl.t;        (* vars read before any def *)
+  last_version : (string, int) Hashtbl.t;       (* var -> version at node end *)
+}
+
+(* Variables a statement reads, in source order. *)
+let uses_of_stmt (s : Jir.Ast.stmt) : string list =
+  let call_vars (c : Jir.Ast.call) =
+    let args = List.concat_map Jir.Ast.expr_vars c.Jir.Ast.args in
+    match c.Jir.Ast.recv with Some r -> r :: args | None -> args
+  in
+  let rhs_vars = function
+    | Jir.Ast.Rnew (_, args) -> List.concat_map Jir.Ast.expr_vars args
+    | Jir.Ast.Rload (y, _) -> [ y ]
+    | Jir.Ast.Rcall c -> call_vars c
+    | Jir.Ast.Rexpr e -> Jir.Ast.expr_vars e
+    | Jir.Ast.Rnull -> []
+  in
+  match s.Jir.Ast.kind with
+  | Jir.Ast.Decl (_, _, Some r) | Jir.Ast.Assign (_, r) -> rhs_vars r
+  | Jir.Ast.Decl (_, _, None) -> []
+  | Jir.Ast.Store (x, _, y) -> [ x; y ]
+  | Jir.Ast.Expr c -> call_vars c
+  | Jir.Ast.Return (Some e) -> Jir.Ast.expr_vars e
+  | Jir.Ast.Return None | Jir.Ast.Throw _ -> []
+  | Jir.Ast.If _ | Jir.Ast.While _ | Jir.Ast.Try _ -> []
+
+(* The variable a statement (re)defines, if any. *)
+let def_of_stmt (s : Jir.Ast.stmt) : string option =
+  match s.Jir.Ast.kind with
+  | Jir.Ast.Decl (_, v, _) | Jir.Ast.Assign (v, _) -> Some v
+  | Jir.Ast.Store _ | Jir.Ast.Expr _ | Jir.Ast.Return _ | Jir.Ast.Throw _
+  | Jir.Ast.If _ | Jir.Ast.While _ | Jir.Ast.Try _ ->
+      None
+
+let analyze (stmts : Jir.Ast.stmt list) : t =
+  let t =
+    { use_version = Hashtbl.create 16;
+      def_version = Hashtbl.create 16;
+      entry_uses = Hashtbl.create 8;
+      last_version = Hashtbl.create 8 }
+  in
+  let current v = Option.value ~default:0 (Hashtbl.find_opt t.last_version v) in
+  List.iter
+    (fun (s : Jir.Ast.stmt) ->
+      List.iter
+        (fun v ->
+          let ver = current v in
+          if ver = 0 then Hashtbl.replace t.entry_uses v ();
+          Hashtbl.replace t.use_version (s.Jir.Ast.sid, v) ver)
+        (uses_of_stmt s);
+      (match def_of_stmt s with
+      | Some v ->
+          let ver = current v + 1 in
+          Hashtbl.replace t.def_version (s.Jir.Ast.sid, v) ver;
+          Hashtbl.replace t.last_version v ver
+      | None -> ()))
+    stmts;
+  t
+
+let use (t : t) ~sid ~var =
+  Option.value ~default:0 (Hashtbl.find_opt t.use_version (sid, var))
+
+let def (t : t) ~sid ~var =
+  Option.value ~default:0 (Hashtbl.find_opt t.def_version (sid, var))
+
+let last (t : t) ~var =
+  Option.value ~default:0 (Hashtbl.find_opt t.last_version var)
+
+let is_entry_use (t : t) ~var = Hashtbl.mem t.entry_uses var
+
+let occurs (t : t) ~var =
+  Hashtbl.mem t.entry_uses var || Hashtbl.mem t.last_version var
+
+(* Vars occurring in the node (read or written). *)
+let occurring_vars (t : t) : string list =
+  let acc = Hashtbl.create 8 in
+  Hashtbl.iter (fun v () -> Hashtbl.replace acc v ()) t.entry_uses;
+  Hashtbl.iter (fun v _ -> Hashtbl.replace acc v ()) t.last_version;
+  Hashtbl.fold (fun v () l -> v :: l) acc []

@@ -1,0 +1,1 @@
+lib/jir/ast.ml: List

@@ -1,0 +1,1 @@
+lib/jir/builder.ml: Ast List Resolve String

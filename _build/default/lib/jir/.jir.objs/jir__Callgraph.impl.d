@@ -1,0 +1,1 @@
+lib/jir/callgraph.ml: Array Ast Hashtbl List Option

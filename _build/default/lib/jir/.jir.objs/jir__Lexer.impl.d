@@ -1,0 +1,1 @@
+lib/jir/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/jir/parser.ml: Array Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/jir/pp.ml: Ast Fmt List String

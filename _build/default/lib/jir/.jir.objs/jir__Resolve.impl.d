@@ -1,0 +1,1 @@
+lib/jir/resolve.ml: Ast Format Hashtbl List Option Parser Printf

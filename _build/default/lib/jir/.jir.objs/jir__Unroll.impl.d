@@ -1,0 +1,1 @@
+lib/jir/unroll.ml: Ast List

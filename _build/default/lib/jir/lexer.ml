@@ -1,0 +1,110 @@
+(* Hand-written lexer for the JIR surface syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW of string          (* class if else while try catch throw throws ... *)
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | SEMI | COMMA | DOT
+  | ASSIGN                (* = *)
+  | PLUS | MINUS | STAR
+  | LE | LT | GE | GT | EQ | NE
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Lex_error of string * int (* message, line *)
+
+let keywords =
+  [ "class"; "if"; "else"; "while"; "try"; "catch"; "throw"; "throws";
+    "return"; "new"; "null"; "true"; "false"; "int"; "bool"; "void"; "entry" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type lexed = { tok : token; line : int }
+
+(* Tokenize [src] fully.  Comments: // to end of line and /* ... */. *)
+let tokenize src : lexed list =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then raise (Lex_error ("unterminated comment", !line));
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          i := !i + 2;
+          fin := true
+        end
+        else incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then emit (KW s) else emit (IDENT s)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<=" -> emit LE; i := !i + 2
+      | ">=" -> emit GE; i := !i + 2
+      | "==" -> emit EQ; i := !i + 2
+      | "!=" -> emit NE; i := !i + 2
+      | "&&" -> emit ANDAND; i := !i + 2
+      | "||" -> emit OROR; i := !i + 2
+      | _ ->
+          (match c with
+          | '{' -> emit LBRACE
+          | '}' -> emit RBRACE
+          | '(' -> emit LPAREN
+          | ')' -> emit RPAREN
+          | ';' -> emit SEMI
+          | ',' -> emit COMMA
+          | '.' -> emit DOT
+          | '=' -> emit ASSIGN
+          | '+' -> emit PLUS
+          | '-' -> emit MINUS
+          | '*' -> emit STAR
+          | '<' -> emit LT
+          | '>' -> emit GT
+          | '!' -> emit BANG
+          | _ ->
+              raise
+                (Lex_error (Printf.sprintf "unexpected character %C" c, !line)));
+          incr i
+    end
+  done;
+  emit EOF;
+  List.rev !out
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | KW s -> Printf.sprintf "keyword %S" s
+  | LBRACE -> "'{'" | RBRACE -> "'}'" | LPAREN -> "'('" | RPAREN -> "')'"
+  | SEMI -> "';'" | COMMA -> "','" | DOT -> "'.'"
+  | ASSIGN -> "'='" | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'"
+  | LE -> "'<='" | LT -> "'<'" | GE -> "'>='" | GT -> "'>'"
+  | EQ -> "'=='" | NE -> "'!='"
+  | ANDAND -> "'&&'" | OROR -> "'||'" | BANG -> "'!'"
+  | EOF -> "end of input"

@@ -1,0 +1,143 @@
+(* Post-parse resolution: decide for each call whether the receiver names a
+   class (static call) or a variable (instance call, receiver class taken
+   from the variable's declared type), and check that every call target
+   exists.  JIR has no inheritance, so the declared class is the dispatch
+   target. *)
+
+open Ast
+
+type error = { at : pos; msg : string }
+
+let err at fmt = Format.kasprintf (fun msg -> { at; msg }) fmt
+
+type env = {
+  classes : (string, cls) Hashtbl.t;
+  mutable vars : (var * typ) list;  (* innermost scope first *)
+  mutable errors : error list;
+}
+
+let lookup_var env v = List.assoc_opt v env.vars
+
+let class_of_var env v =
+  match lookup_var env v with
+  | Some (Tobj c) -> Some c
+  | _ -> None
+
+let record env e = env.errors <- e :: env.errors
+
+let resolve_call env at (c : call) : call =
+  match c.recv with
+  | None -> c
+  | Some r ->
+      if Hashtbl.mem env.classes r && lookup_var env r = None then
+        { c with recv = None; target_class = r }
+      else begin
+        let target_class =
+          match class_of_var env r with
+          | Some cls -> cls
+          | None ->
+              record env
+                (err at "call receiver %s is neither a class nor an object" r);
+              c.target_class
+        in
+        { c with target_class }
+      end
+
+(* Classes not defined in the program are library classes (e.g. Socket,
+   FileWriter): calls into them are analysis events or no-ops, so only calls
+   to *defined* classes are checked for a matching method. *)
+let check_target env at (c : call) =
+  if c.target_class <> "" then
+    match Hashtbl.find_opt env.classes c.target_class with
+    | None -> ()
+    | Some cls ->
+        if not (List.exists (fun m -> m.mname = c.mname) cls.methods) then
+          record env
+            (err at "class %s has no method %s" c.target_class c.mname)
+
+let resolve_rhs env at = function
+  | Rcall c ->
+      let c = resolve_call env at c in
+      check_target env at c;
+      Rcall c
+  | Rnew _ as r -> r
+  | (Rload _ | Rexpr _ | Rnull) as r -> r
+
+let rec resolve_block env (b : block) : block =
+  let saved = env.vars in
+  let b' = List.map (resolve_stmt env) b in
+  env.vars <- saved;
+  b'
+
+and resolve_stmt env (s : stmt) : stmt =
+  let kind =
+    match s.kind with
+    | Decl (t, v, r) ->
+        let r = Option.map (resolve_rhs env s.at) r in
+        env.vars <- (v, t) :: env.vars;
+        Decl (t, v, r)
+    | Assign (v, r) -> Assign (v, resolve_rhs env s.at r)
+    | Store (x, f, y) ->
+        if lookup_var env x = None then
+          record env (err s.at "store into undeclared variable %s" x);
+        if lookup_var env y = None then
+          record env (err s.at "store of undeclared variable %s" y);
+        Store (x, f, y)
+    | If (c, t, f) -> If (c, resolve_block env t, resolve_block env f)
+    | While (c, b) -> While (c, resolve_block env b)
+    | Try (b, catches) ->
+        let b = resolve_block env b in
+        let catches =
+          List.map
+            (fun cc ->
+              let saved = env.vars in
+              env.vars <- (cc.exn_var, Tobj cc.exn_class) :: env.vars;
+              let handler = List.map (resolve_stmt env) cc.handler in
+              env.vars <- saved;
+              { cc with handler })
+            catches
+        in
+        Try (b, catches)
+    | Throw _ as k -> k
+    | Return _ as k -> k
+    | Expr c ->
+        let c = resolve_call env s.at c in
+        check_target env s.at c;
+        Expr c
+  in
+  { s with kind }
+
+let resolve_method env (m : meth) : meth =
+  env.vars <- List.map (fun (t, v) -> (v, t)) m.params;
+  let body = resolve_block env m.body in
+  env.vars <- [];
+  { m with body }
+
+(* Resolve a parsed program.  Returns the resolved program and any semantic
+   errors found (empty list means the program is well-formed). *)
+let run (p : program) : program * error list =
+  let classes = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace classes c.cname c) p.classes;
+  let env = { classes; vars = []; errors = [] } in
+  let classes' =
+    List.map
+      (fun c -> { c with methods = List.map (resolve_method env) c.methods })
+      p.classes
+  in
+  List.iter
+    (fun (c, m) ->
+      match find_method { p with classes = classes' } ~cls:c ~meth:m with
+      | Some _ -> ()
+      | None -> record env (err no_pos "entry %s.%s does not exist" c m))
+    p.entries;
+  ({ p with classes = classes' }, List.rev env.errors)
+
+exception Resolve_error of error list
+
+(* Convenience: parse + resolve, raising on any error. *)
+let parse_exn ?file src =
+  let p, errs = run (Parser.parse ?file src) in
+  if errs <> [] then raise (Resolve_error errs);
+  p
+
+let error_to_string e = Printf.sprintf "%s:%d: %s" e.at.file e.at.line e.msg

@@ -1,0 +1,79 @@
+(* Bounded loop unrolling (paper §3.1): every [while] loop is statically
+   unrolled [bound] times, turning each method body into cycle-free code so
+   that its CFET is a finite binary tree and every path has a unique interval
+   encoding.  Copies receive fresh statement ids but keep source positions,
+   so bug reports still point at the original line. *)
+
+open Ast
+
+let rec copy_block (b : block) : block = List.map copy_stmt b
+
+and copy_stmt (s : stmt) : stmt =
+  let kind =
+    match s.kind with
+    | (Decl _ | Assign _ | Store _ | Throw _ | Return _ | Expr _) as k -> k
+    | If (c, t, f) -> If (c, copy_block t, copy_block f)
+    | While (c, b) -> While (c, copy_block b)
+    | Try (b, catches) ->
+        Try
+          ( copy_block b,
+            List.map (fun c -> { c with handler = copy_block c.handler }) catches
+          )
+  in
+  { s with sid = fresh_sid (); kind }
+
+(* while (c) body   with bound k becomes
+   if (c) { body; if (c) { body; ... } }   with k nested conditionals. *)
+let rec unroll_block ~bound (b : block) : block =
+  List.concat_map (unroll_stmt ~bound) b
+
+and unroll_stmt ~bound (s : stmt) : stmt list =
+  match s.kind with
+  | Decl _ | Assign _ | Store _ | Throw _ | Return _ | Expr _ -> [ s ]
+  | If (c, t, f) ->
+      [ { s with kind = If (c, unroll_block ~bound t, unroll_block ~bound f) } ]
+  | Try (b, catches) ->
+      let catches =
+        List.map
+          (fun cc -> { cc with handler = unroll_block ~bound cc.handler })
+          catches
+      in
+      [ { s with kind = Try (unroll_block ~bound b, catches) } ]
+  | While (c, body) ->
+      let body = unroll_block ~bound body in
+      let rec expand k =
+        if k = 0 then []
+        else
+          let inner = expand (k - 1) in
+          let body_copy = copy_block body in
+          [ { (copy_stmt s) with kind = If (c, body_copy @ inner, []) } ]
+      in
+      expand bound
+
+let unroll_method ~bound (m : meth) : meth =
+  { m with body = unroll_block ~bound m.body }
+
+(* Unroll every loop in the program [bound] times (bound >= 1). *)
+let unroll_program ~bound (p : program) : program =
+  if bound < 1 then invalid_arg "Unroll.unroll_program: bound must be >= 1";
+  let classes =
+    List.map
+      (fun c -> { c with methods = List.map (unroll_method ~bound) c.methods })
+      p.classes
+  in
+  { p with classes }
+
+(* True when no [While] remains anywhere in the program. *)
+let is_loop_free (p : program) =
+  let rec block_ok b = List.for_all stmt_ok b
+  and stmt_ok s =
+    match s.kind with
+    | While _ -> false
+    | Decl _ | Assign _ | Store _ | Throw _ | Return _ | Expr _ -> true
+    | If (_, t, f) -> block_ok t && block_ok f
+    | Try (b, catches) ->
+        block_ok b && List.for_all (fun c -> block_ok c.handler) catches
+  in
+  List.for_all
+    (fun c -> List.for_all (fun m -> block_ok m.body) c.methods)
+    p.classes

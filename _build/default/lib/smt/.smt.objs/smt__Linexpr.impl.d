@@ -1,0 +1,1 @@
+lib/smt/linexpr.ml: Fmt List Stdlib Symbol

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Formula Hashtbl Linexpr List Sat Symbol Theory

@@ -1,0 +1,1 @@
+lib/smt/symbol.ml: Array Fmt Hashtbl Printf

@@ -1,0 +1,92 @@
+(* Linear integer expressions: c0 + sum(ci * xi), with coefficient lists kept
+   sorted by variable id and free of zero coefficients.  This canonical form
+   makes syntactic equality meaningful and arithmetic linear-time. *)
+
+type t = {
+  coeffs : (Symbol.t * int) list;  (* strictly increasing variable ids *)
+  const : int;
+}
+
+let const n = { coeffs = []; const = n }
+let zero = const 0
+let var ?(coeff = 1) v = if coeff = 0 then zero else { coeffs = [ (v, coeff) ]; const = 0 }
+
+let is_const t = t.coeffs = []
+
+let rec merge f a b =
+  match (a, b) with
+  | [], rest ->
+      List.filter_map
+        (fun (v, c) -> let c = f 0 c in if c = 0 then None else Some (v, c))
+        rest
+  | rest, [] ->
+      List.filter_map
+        (fun (v, c) -> let c = f c 0 in if c = 0 then None else Some (v, c))
+        rest
+  | (va, ca) :: ta, (vb, cb) :: tb ->
+      if va < vb then
+        let c = f ca 0 in
+        if c = 0 then merge f ta b else (va, c) :: merge f ta b
+      else if va > vb then
+        let c = f 0 cb in
+        if c = 0 then merge f a tb else (vb, c) :: merge f a tb
+      else
+        let c = f ca cb in
+        if c = 0 then merge f ta tb else (va, c) :: merge f ta tb
+
+let add a b = { coeffs = merge ( + ) a.coeffs b.coeffs; const = a.const + b.const }
+let sub a b = { coeffs = merge ( - ) a.coeffs b.coeffs; const = a.const - b.const }
+
+let scale k t =
+  if k = 0 then zero
+  else
+    { coeffs = List.map (fun (v, c) -> (v, k * c)) t.coeffs;
+      const = k * t.const }
+
+let neg t = scale (-1) t
+
+let coeff_of v t =
+  match List.assoc_opt v t.coeffs with Some c -> c | None -> 0
+
+let vars t = List.map fst t.coeffs
+
+let equal a b = a.const = b.const && a.coeffs = b.coeffs
+
+let compare a b =
+  let c = Stdlib.compare a.coeffs b.coeffs in
+  if c <> 0 then c else Stdlib.compare a.const b.const
+
+(* Substitute expression [by] for variable [v]. *)
+let subst ~v ~by t =
+  let c = coeff_of v t in
+  if c = 0 then t
+  else
+    let without = { t with coeffs = List.filter (fun (w, _) -> w <> v) t.coeffs } in
+    add without (scale c by)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let coeff_gcd t = List.fold_left (fun g (_, c) -> gcd g c) 0 t.coeffs
+
+(* Evaluate under a total assignment; raises [Not_found] if a variable is
+   missing. *)
+let eval assignment t =
+  List.fold_left (fun acc (v, c) -> acc + (c * assignment v)) t.const t.coeffs
+
+let pp ppf t =
+  let pp_term first ppf (v, c) =
+    if c = 1 then Fmt.pf ppf (if first then "%a" else " + %a") Symbol.pp v
+    else if c = -1 then Fmt.pf ppf (if first then "-%a" else " - %a") Symbol.pp v
+    else if c >= 0 then
+      Fmt.pf ppf (if first then "%d*%a" else " + %d*%a") c Symbol.pp v
+    else Fmt.pf ppf (if first then "-%d*%a" else " - %d*%a") (-c) Symbol.pp v
+  in
+  match t.coeffs with
+  | [] -> Fmt.int ppf t.const
+  | first :: rest ->
+      pp_term true ppf first;
+      List.iter (pp_term false ppf) rest;
+      if t.const > 0 then Fmt.pf ppf " + %d" t.const
+      else if t.const < 0 then Fmt.pf ppf " - %d" (-t.const)
+
+let to_string t = Fmt.str "%a" pp t

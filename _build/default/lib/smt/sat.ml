@@ -1,0 +1,143 @@
+(* A small DPLL SAT solver over CNF.  Literals are non-zero integers in the
+   DIMACS convention: +v asserts variable v, -v its negation; variables are
+   numbered from 1.  Unit propagation is a scan-to-fixpoint, which is
+   appropriate for the clause counts produced by path-constraint skeletons
+   and blocking clauses (tens to a few thousands). *)
+
+type result = Sat of bool array (* index by variable, [0] unused *) | Unsat
+
+type solver = {
+  nvars : int;
+  mutable clauses : int array list;
+  assign : int array;  (* 0 unassigned, +1 true, -1 false *)
+  mutable trail : int list;
+}
+
+let create ~nvars = { nvars; clauses = []; assign = Array.make (nvars + 1) 0; trail = [] }
+
+let add_clause s (lits : int list) =
+  let lits = List.sort_uniq compare lits in
+  (* drop tautologies: clause containing both v and -v *)
+  let tautology =
+    List.exists (fun l -> l < 0 && List.mem (-l) lits) lits
+  in
+  if not tautology then s.clauses <- Array.of_list lits :: s.clauses
+
+let value s lit =
+  let a = s.assign.(abs lit) in
+  if a = 0 then 0 else if (lit > 0) = (a > 0) then 1 else -1
+
+let set s lit =
+  s.assign.(abs lit) <- (if lit > 0 then 1 else -1);
+  s.trail <- lit :: s.trail
+
+let undo_to s mark =
+  let rec pop () =
+    if s.trail != mark then
+      match s.trail with
+      | [] -> ()
+      | lit :: rest ->
+          s.assign.(abs lit) <- 0;
+          s.trail <- rest;
+          pop ()
+  in
+  pop ()
+
+exception Conflict
+
+(* Propagate all unit clauses to fixpoint; raises [Conflict] on an empty
+   clause. *)
+let propagate s =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun clause ->
+        let unassigned = ref 0 in
+        let last = ref 0 in
+        let satisfied = ref false in
+        Array.iter
+          (fun lit ->
+            match value s lit with
+            | 1 -> satisfied := true
+            | 0 ->
+                incr unassigned;
+                last := lit
+            | _ -> ())
+          clause;
+        if not !satisfied then
+          if !unassigned = 0 then raise Conflict
+          else if !unassigned = 1 then begin
+            set s !last;
+            changed := true
+          end)
+      s.clauses
+  done
+
+let pick_branch s =
+  (* first unassigned literal of the first unsatisfied clause *)
+  let rec scan = function
+    | [] -> None
+    | clause :: rest ->
+        let satisfied = Array.exists (fun lit -> value s lit = 1) clause in
+        if satisfied then scan rest
+        else
+          let lit =
+            Array.fold_left
+              (fun acc lit -> if acc = 0 && value s lit = 0 then lit else acc)
+              0 clause
+          in
+          if lit = 0 then scan rest else Some lit
+  in
+  scan s.clauses
+
+let rec dpll s =
+  match (try propagate s; `Ok with Conflict -> `Conflict) with
+  | `Conflict -> false
+  | `Ok -> (
+      match pick_branch s with
+      | None -> true
+      | Some lit ->
+          let mark = s.trail in
+          set s lit;
+          if dpll s then true
+          else begin
+            undo_to s mark;
+            set s (-lit);
+            if dpll s then true
+            else begin
+              undo_to s mark;
+              false
+            end
+          end)
+
+(* Solve the clause set.  The model assigns [false] to variables left
+   unconstrained. *)
+let solve ~nvars (clauses : int list list) : result =
+  let s = create ~nvars in
+  List.iter (add_clause s) clauses;
+  if dpll s then begin
+    let model = Array.make (nvars + 1) false in
+    for v = 1 to nvars do
+      model.(v) <- s.assign.(v) > 0
+    done;
+    Sat model
+  end
+  else Unsat
+
+(* Incremental interface used by the DPLL(T) loop: keep the solver, add
+   blocking clauses between calls.  Assignments are reset at each call. *)
+let reset s =
+  undo_to s [];
+  s.trail <- []
+
+let solve_current (s : solver) : result =
+  reset s;
+  if dpll s then begin
+    let model = Array.make (s.nvars + 1) false in
+    for v = 1 to s.nvars do
+      model.(v) <- s.assign.(v) > 0
+    done;
+    Sat model
+  end
+  else Unsat

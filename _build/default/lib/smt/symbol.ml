@@ -1,0 +1,38 @@
+(* Global interning of variable names.  Terms and formulas refer to
+   variables by dense integer ids, which keeps linear-expression operations
+   and hashing cheap; the table maps back to names for printing. *)
+
+type t = int
+
+let names : (string, int) Hashtbl.t = Hashtbl.create 1024
+let table : string array ref = ref (Array.make 1024 "")
+let next = ref 0
+
+let intern (name : string) : t =
+  match Hashtbl.find_opt names name with
+  | Some id -> id
+  | None ->
+      let id = !next in
+      incr next;
+      if id >= Array.length !table then begin
+        let bigger = Array.make (2 * Array.length !table) "" in
+        Array.blit !table 0 bigger 0 (Array.length !table);
+        table := bigger
+      end;
+      !table.(id) <- name;
+      Hashtbl.replace names name id;
+      id
+
+let name (id : t) : string =
+  if id < 0 || id >= !next then Printf.sprintf "?%d" id else !table.(id)
+
+let count () = !next
+
+(* Fresh symbol guaranteed not to collide with interned names. *)
+let fresh_counter = ref 0
+
+let fresh prefix =
+  incr fresh_counter;
+  intern (Printf.sprintf "%s$%d" prefix !fresh_counter)
+
+let pp ppf id = Fmt.string ppf (name id)

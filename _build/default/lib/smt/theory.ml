@@ -1,0 +1,404 @@
+(* Decision procedure for conjunctions of linear integer atoms, used as the
+   theory backend of the DPLL(T) loop.  Equalities are removed by
+   substitution (Gaussian elimination restricted to unit-coefficient pivots,
+   which is what branch conditions and parameter-passing equations produce);
+   the remaining inequalities go through Fourier-Motzkin elimination with
+   integer tightening (each derived inequality is re-normalized by the gcd of
+   its coefficients with a ceiling on the constant).
+
+   Completeness note: without the omega-test dark shadow, systems that are
+   rationally satisfiable but integer-infeasible can be reported Sat.  For
+   path constraints built from branch conditions this shows up rarely and
+   errs toward reporting a path feasible (i.e., toward a false positive,
+   never a missed constraint conflict). *)
+
+type result = Sat | Unsat
+
+(* A witness assignment for the variables of a satisfiable system.  [None]
+   when the system is satisfiable but the rational relaxation's witness does
+   not round to an integer point (the incompleteness documented above). *)
+type model = (Symbol.t * int) list
+
+type model_result = Msat of model option | Munsat
+
+exception Too_large
+
+(* Combined inequalities cap: beyond this, give up and answer Sat (feasible),
+   which is the conservative direction for a bug-finding tool. *)
+let default_max_inequalities = 50_000
+
+(* Re-apply the gcd tightening of [Formula.atom_le] to a raw term. *)
+let tighten (t : Linexpr.t) : [ `Ineq of Linexpr.t | `True | `False ] =
+  if Linexpr.is_const t then if t.Linexpr.const <= 0 then `True else `False
+  else
+    let g = Linexpr.coeff_gcd t in
+    if g <= 1 then `Ineq t
+    else
+      let c = t.Linexpr.const in
+      let cdiv = if c >= 0 then (c + g - 1) / g else -((-c) / g) in
+      `Ineq
+        { Linexpr.coeffs = List.map (fun (v, k) -> (v, k / g)) t.Linexpr.coeffs;
+          const = cdiv }
+
+(* Eliminate the equalities [eqs] (terms meaning t = 0) from themselves and
+   from the inequalities [ineqs] (terms meaning t <= 0).  Returns [None] when
+   an equality is contradictory, otherwise the remaining system: equalities
+   without a unit pivot are turned into inequality pairs. *)
+let eliminate_equalities ?substitutions (eqs : Linexpr.t list)
+    (ineqs : Linexpr.t list) : Linexpr.t list option =
+  let rec go eqs ineqs =
+    match eqs with
+    | [] -> Some ineqs
+    | t :: rest ->
+        if Linexpr.is_const t then
+          if t.Linexpr.const = 0 then go rest ineqs else None
+        else begin
+          let g = Linexpr.coeff_gcd t in
+          if t.Linexpr.const mod g <> 0 then None
+          else
+            let t =
+              if g = 1 then t
+              else
+                { Linexpr.coeffs =
+                    List.map (fun (v, k) -> (v, k / g)) t.Linexpr.coeffs;
+                  const = t.Linexpr.const / g }
+            in
+            match
+              List.find_opt (fun (_, c) -> c = 1 || c = -1) t.Linexpr.coeffs
+            with
+            | Some (v, c) ->
+                (* c*v + r = 0 with c = +-1, so v = -c*r; substitute. *)
+                let r =
+                  { t with
+                    Linexpr.coeffs =
+                      List.filter (fun (w, _) -> w <> v) t.Linexpr.coeffs }
+                in
+                let by = Linexpr.scale (-c) r in
+                (match substitutions with
+                | Some subs -> subs := (v, by) :: !subs
+                | None -> ());
+                let rest = List.map (Linexpr.subst ~v ~by) rest in
+                let ineqs = List.map (Linexpr.subst ~v ~by) ineqs in
+                go rest ineqs
+            | None ->
+                (* No unit pivot: fall back to the inequality pair. *)
+                go rest (t :: Linexpr.neg t :: ineqs)
+        end
+  in
+  go eqs ineqs
+
+(* Fourier-Motzkin elimination.  [max_size] bounds the working set; raising
+   [Too_large] lets the caller answer Sat.  On Sat, [steps] records the
+   elimination order together with each variable's lower/upper bound
+   constraints so a witness can be reconstructed by back-substitution. *)
+type fm_step = {
+  fm_var : Symbol.t;
+  fm_lowers : (int * Linexpr.t) list;  (* b < 0:  b*v + q <= 0 *)
+  fm_uppers : (int * Linexpr.t) list;  (* a > 0:  a*v + p <= 0 *)
+}
+
+let fourier_motzkin ?(max_size = default_max_inequalities)
+    ?(steps : fm_step list ref option) (ineqs : Linexpr.t list) : result =
+  let normalize ts =
+    List.filter_map
+      (fun t ->
+        match tighten t with
+        | `True -> None
+        | `False -> raise Exit
+        | `Ineq t -> Some t)
+      ts
+  in
+  let dedup ts =
+    List.sort_uniq Linexpr.compare ts
+  in
+  try
+    let rec eliminate ineqs =
+      let ineqs = dedup (normalize ineqs) in
+      if List.length ineqs > max_size then raise Too_large;
+      (* choose the variable minimizing the product #lower * #upper *)
+      let occurrences = Hashtbl.create 16 in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun (v, c) ->
+              let lo, hi =
+                Option.value ~default:(0, 0) (Hashtbl.find_opt occurrences v)
+              in
+              if c > 0 then Hashtbl.replace occurrences v (lo, hi + 1)
+              else Hashtbl.replace occurrences v (lo + 1, hi))
+            t.Linexpr.coeffs)
+        ineqs;
+      if Hashtbl.length occurrences = 0 then
+        (* only constants remain; [normalize] removed the satisfiable ones *)
+        if ineqs = [] then Sat else Unsat
+      else begin
+        let best = ref None in
+        Hashtbl.iter
+          (fun v (lo, hi) ->
+            let cost = lo * hi in
+            match !best with
+            | Some (_, c) when c <= cost -> ()
+            | _ -> best := Some (v, cost))
+          occurrences;
+        let v, _ = Option.get !best in
+        let lowers, uppers, rest =
+          List.fold_left
+            (fun (lowers, uppers, rest) t ->
+              let c = Linexpr.coeff_of v t in
+              if c > 0 then (lowers, (c, t) :: uppers, rest)
+              else if c < 0 then ((c, t) :: lowers, uppers, rest)
+              else (lowers, uppers, t :: rest))
+            ([], [], []) ineqs
+        in
+        (match steps with
+        | Some r -> r := { fm_var = v; fm_lowers = lowers; fm_uppers = uppers } :: !r
+        | None -> ());
+        (* a*v + p <= 0 (a>0, upper) and  b*v + q <= 0 (b<0, lower):
+           eliminate v via  (-b)*(a*v+p) + a*(b*v+q) = (-b)*p + a*q <= 0 *)
+        let combined =
+          List.concat_map
+            (fun (a, upper) ->
+              List.map
+                (fun (b, lower) ->
+                  Linexpr.add (Linexpr.scale (-b) upper) (Linexpr.scale a lower))
+                lowers)
+            uppers
+        in
+        if List.length combined + List.length rest > max_size then
+          raise Too_large;
+        eliminate (combined @ rest)
+      end
+    in
+    eliminate ineqs
+  with Exit -> Unsat
+
+(* Split a constraint system into connected components over shared
+   variables: two constraints interact only if they (transitively) share a
+   variable, so each component can be decided independently.  Path
+   constraints are dominated by unrelated per-branch conditions, which makes
+   this decomposition the difference between linear and super-linear
+   behaviour on long interprocedural paths. *)
+let connected_components (terms : ([ `Eq | `Le | `Ne ] * Linexpr.t) list) :
+    ([ `Eq | `Le | `Ne ] * Linexpr.t) list list =
+  let n = List.length terms in
+  let arr = Array.of_list terms in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let owner : (Symbol.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (_, t) ->
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt owner v with
+          | Some j -> union i j
+          | None -> Hashtbl.replace owner v i)
+        (Linexpr.vars t))
+    arr;
+  let groups : (int, ([ `Eq | `Le | `Ne ] * Linexpr.t) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iteri
+    (fun i term ->
+      let r = find i in
+      match Hashtbl.find_opt groups r with
+      | Some l -> l := term :: !l
+      | None -> Hashtbl.replace groups r (ref [ term ]))
+    arr;
+  Hashtbl.fold (fun _ l acc -> !l :: acc) groups []
+
+(* Reconstruct an integer witness from the recorded elimination steps, in
+   reverse elimination order: when a variable is assigned, every variable in
+   its bound terms was eliminated later and is therefore already assigned.
+   Returns [None] when the rational interval for some variable contains no
+   integer (the dark-shadow gap). *)
+let model_of_steps (steps : fm_step list) : (Symbol.t, int) Hashtbl.t option =
+  let assign : (Symbol.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let value v = match Hashtbl.find_opt assign v with Some n -> n | None -> 0 in
+  let eval (t : Linexpr.t) = Linexpr.eval value t in
+  let ok =
+    List.for_all
+      (fun step ->
+        (* a*v + p <= 0 (a > 0)  ==>  v <= floor(-p / a)
+           b*v + q <= 0 (b < 0)  ==>  v >= ceil(q / -b) *)
+        let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y) in
+        let cdiv x y = if x >= 0 then (x + y - 1) / y else -((-x) / y) in
+        (* the residue p of t = c*v + p, evaluated under the assignments of
+           the later-eliminated variables *)
+        let residue t =
+          eval
+            { t with
+              Linexpr.coeffs =
+                List.filter (fun (w, _) -> w <> step.fm_var) t.Linexpr.coeffs }
+        in
+        let hi =
+          List.fold_left
+            (fun acc (a, t) -> min acc (fdiv (- (residue t)) a))
+            max_int step.fm_uppers
+        in
+        let lo =
+          List.fold_left
+            (fun acc (b, t) -> max acc (cdiv (residue t) (-b)))
+            min_int step.fm_lowers
+        in
+        if lo > hi then false
+        else begin
+          let v = if lo <= 0 && 0 <= hi then 0 else if lo > 0 then lo else hi in
+          Hashtbl.replace assign step.fm_var v;
+          true
+        end)
+      steps
+  in
+  if ok then Some assign else None
+
+(* Decide one connected component, optionally producing a witness.
+   [substitutions] collects the equality eliminations so the caller can
+   back-substitute them into the witness. *)
+let check_component_model ~max_size
+    (terms : ([ `Eq | `Le | `Ne ] * Linexpr.t) list) : model_result =
+  let eqs, ineqs, neg_eqs =
+    List.fold_left
+      (fun (eqs, ineqs, nes) (kind, t) ->
+        match kind with
+        | `Eq -> (t :: eqs, ineqs, nes)
+        | `Le -> (eqs, t :: ineqs, nes)
+        | `Ne -> (eqs, ineqs, t :: nes))
+      ([], [], []) terms
+  in
+  let subs = ref [] in
+  let rec split neg_eqs eqs ineqs =
+    match neg_eqs with
+    | [] -> begin
+        subs := [];
+        match eliminate_equalities ~substitutions:subs eqs ineqs with
+        | None -> Munsat
+        | Some ineqs -> (
+            let steps = ref [] in
+            match fourier_motzkin ~max_size ~steps ineqs with
+            | Unsat -> Munsat
+            | Sat -> (
+                match model_of_steps !steps with
+                | None -> Msat None
+                | Some assign ->
+                    (* back-substitute the equality eliminations, newest
+                       first (they were prepended in elimination order) *)
+                    let value v =
+                      match Hashtbl.find_opt assign v with
+                      | Some n -> n
+                      | None -> 0
+                    in
+                    List.iter
+                      (fun (v, by) ->
+                        Hashtbl.replace assign v (Linexpr.eval value by))
+                      (List.rev !subs);
+                    let model =
+                      Hashtbl.fold (fun v n acc -> (v, n) :: acc) assign []
+                    in
+                    Msat (Some model))
+            | exception Too_large -> Msat None)
+      end
+    | t :: rest ->
+        let low = Linexpr.add t (Linexpr.const 1) in
+        let high = Linexpr.add (Linexpr.neg t) (Linexpr.const 1) in
+        (match split rest eqs (low :: ineqs) with
+        | Msat m -> Msat m
+        | Munsat -> split rest eqs (high :: ineqs))
+  in
+  split neg_eqs eqs ineqs
+
+(* Decide one connected component. *)
+let check_component ~max_size (terms : ([ `Eq | `Le | `Ne ] * Linexpr.t) list)
+    : result =
+  (* a single constraint with at least one variable is always satisfiable
+     over the integers *)
+  match terms with
+  | [ (`Le, t) ] when not (Linexpr.is_const t) -> Sat
+  | [ (`Eq, t) ] when not (Linexpr.is_const t) ->
+      let g = Linexpr.coeff_gcd t in
+      if t.Linexpr.const mod g = 0 then Sat else Unsat
+  | [ (`Ne, t) ] when not (Linexpr.is_const t) -> Sat
+  | _ -> (
+      match check_component_model ~max_size terms with
+      | Msat _ -> Sat
+      | Munsat -> Unsat)
+
+(* Decide a conjunction of positive atoms plus negated equalities.  The
+   system is decomposed into variable-connected components; each negated
+   equality t <> 0 splits into t <= -1 or t >= 1 within its component. *)
+let check ?(max_size = default_max_inequalities) (atoms : Formula.atom list)
+    ~(neg_eqs : Linexpr.t list) : result =
+  let terms =
+    List.map
+      (fun a ->
+        match a with Formula.Eq t -> (`Eq, t) | Formula.Le t -> (`Le, t))
+      atoms
+    @ List.map (fun t -> (`Ne, t)) neg_eqs
+  in
+  (* constant terms have no component; check them directly *)
+  let const_ok =
+    List.for_all
+      (fun (kind, (t : Linexpr.t)) ->
+        if not (Linexpr.is_const t) then true
+        else
+          match kind with
+          | `Le -> t.Linexpr.const <= 0
+          | `Eq -> t.Linexpr.const = 0
+          | `Ne -> t.Linexpr.const <> 0)
+      terms
+  in
+  if not const_ok then Unsat
+  else begin
+    let vars_terms = List.filter (fun (_, t) -> not (Linexpr.is_const t)) terms in
+    let components = connected_components vars_terms in
+    if List.for_all (fun c -> check_component ~max_size c = Sat) components
+    then Sat
+    else Unsat
+  end
+
+(* Decide a conjunction and produce an integer witness when satisfiable.
+   Component models are merged; variables in satisfiable-singleton
+   components get the obvious witness. *)
+let check_model ?(max_size = default_max_inequalities)
+    (atoms : Formula.atom list) ~(neg_eqs : Linexpr.t list) : model_result =
+  let terms =
+    List.map
+      (fun a ->
+        match a with Formula.Eq t -> (`Eq, t) | Formula.Le t -> (`Le, t))
+      atoms
+    @ List.map (fun t -> (`Ne, t)) neg_eqs
+  in
+  let const_ok =
+    List.for_all
+      (fun (kind, (t : Linexpr.t)) ->
+        if not (Linexpr.is_const t) then true
+        else
+          match kind with
+          | `Le -> t.Linexpr.const <= 0
+          | `Eq -> t.Linexpr.const = 0
+          | `Ne -> t.Linexpr.const <> 0)
+      terms
+  in
+  if not const_ok then Munsat
+  else begin
+    let vars_terms = List.filter (fun (_, t) -> not (Linexpr.is_const t)) terms in
+    let components = connected_components vars_terms in
+    let merged = ref [] in
+    let complete = ref true in
+    let rec go = function
+      | [] ->
+          if !complete then Msat (Some !merged) else Msat None
+      | comp :: rest -> (
+          match check_component_model ~max_size comp with
+          | Munsat -> Munsat
+          | Msat None ->
+              complete := false;
+              go rest
+          | Msat (Some m) ->
+              merged := m @ !merged;
+              go rest)
+    in
+    go components
+  end

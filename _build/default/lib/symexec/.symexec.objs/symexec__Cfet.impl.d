@@ -1,0 +1,1 @@
+lib/symexec/cfet.ml: Fmt Hashtbl Jir List Option Pathenc Printf Smt Symenv

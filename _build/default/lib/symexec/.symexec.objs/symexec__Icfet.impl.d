@@ -1,0 +1,1 @@
+lib/symexec/icfet.ml: Array Cfet Hashtbl Jir List Option Pathenc Printf Smt Symenv

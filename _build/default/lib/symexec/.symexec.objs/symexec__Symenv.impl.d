@@ -1,0 +1,1 @@
+lib/symexec/symenv.ml: Jir List Pathenc Printf Smt

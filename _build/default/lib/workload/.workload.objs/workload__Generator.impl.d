@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Hashtbl Jir List Option Patterns Printf Rng String

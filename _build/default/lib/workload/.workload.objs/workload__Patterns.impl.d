@@ -1,0 +1,1 @@
+lib/workload/patterns.ml: Jir Printf Rng

@@ -1,0 +1,1 @@
+lib/workload/scoring.ml: Fmt Grapple Hashtbl Jir List Patterns

@@ -1,0 +1,275 @@
+(* Assembly of synthetic subjects.
+
+   A subject is a layered service architecture: classes are organized into
+   layers; every method of layer i may call methods of layer i-1 (bounded
+   fanout, so the clone tree stays within budget); the entry method drives
+   the top layer.  Pattern snippets — correct fillers, infeasible-path
+   decoys, and the profile's quota of injected bugs — are planted into
+   method bodies.  Every injected bug carries a ground-truth expectation
+   keyed by source line, which the scoring module matches against Grapple's
+   warnings. *)
+
+type profile = {
+  name : string;
+  description : string;
+  seed : int;
+  layers : int;              (* call-chain depth *)
+  classes_per_layer : int;
+  methods_per_class : int;
+  patterns_per_method : int; (* correct patterns planted per method *)
+  calls_per_method : int;    (* calls into the previous layer *)
+  bugs : (string * int) list;  (* checker -> number of injected bugs *)
+  loops_per_subject : int;
+}
+
+type subject = {
+  profile : profile;
+  program : Jir.Ast.program;
+  expected : Patterns.expectation list;
+  loc : int;
+  n_methods : int;
+}
+
+let helpers_class = "Helpers"
+
+(* One method body: planted patterns + calls into the previous layer +
+   occasionally a bounded loop around a filler.  [callees] must already be
+   the chosen call targets: the generator guarantees every method of the
+   previous layer is called by someone, so all planted bugs are reachable
+   from the entry point. *)
+let gen_method (ctx : Patterns.ctx) ~cls ~name ~callees ~planted ~n_patterns
+    ~with_loop =
+  let param = "p0" in
+  let pieces = ref [] in
+  let helpers = ref [] in
+  let expected = ref [] in
+  let add (piece : Patterns.piece) =
+    pieces := !pieces @ [ piece.Patterns.stmts ];
+    helpers := !helpers @ piece.Patterns.helpers;
+    expected := !expected @ piece.Patterns.expected
+  in
+  List.iter (fun mk -> add (mk ctx ~param)) planted;
+  for _ = 1 to n_patterns do
+    add ((Rng.pick ctx.Patterns.rng Patterns.correct_patterns) ctx ~param)
+  done;
+  let call_stmts =
+    List.map
+      (fun (ccls, cname) ->
+        Jir.Builder.sstmt ~at:(Patterns.next_line ctx) ccls cname
+          [ Jir.Builder.v param ])
+      callees
+  in
+  let body = List.concat !pieces @ call_stmts in
+  (* a loop wraps one extra pattern, not the whole body: unrolling doubles
+     the branches under the loop, and CFETs are exponential in branch
+     count, so keeping loop bodies small keeps tree sizes realistic *)
+  let body =
+    if with_loop then begin
+      let looped = (Rng.pick ctx.Patterns.rng Patterns.correct_patterns) ctx ~param in
+      helpers := !helpers @ looped.Patterns.helpers;
+      expected := !expected @ looped.Patterns.expected;
+      let iv = Patterns.fresh ctx "it" in
+      body
+      @ [ Jir.Builder.decl ~at:(Patterns.next_line ctx) Jir.Ast.Tint iv
+            (Jir.Builder.e (Jir.Builder.i 0));
+          Jir.Builder.while_ ~at:(Patterns.next_line ctx)
+            Jir.Builder.(v iv <: i 2)
+            (looped.Patterns.stmts
+            @ [ Jir.Builder.assign ~at:(Patterns.next_line ctx) iv
+                  Jir.Builder.(e (v iv +: i 1)) ]) ]
+    end
+    else body
+  in
+  let body = body @ [ Jir.Builder.ret0 ~at:(Patterns.next_line ctx) () ] in
+  ( Jir.Builder.meth ~cls ~name ~params:[ (Jir.Ast.Tint, param) ] body,
+    !helpers,
+    !expected )
+
+let generate (p : profile) : subject =
+  let file = p.name ^ ".jir" in
+  let ctx = Patterns.create_ctx ~seed:p.seed ~file ~helpers_class in
+  let rng = ctx.Patterns.rng in
+  (* distribute the bug quota over (layer, class, method) slots *)
+  let slots = ref [] in
+  for layer = 0 to p.layers - 1 do
+    for c = 0 to p.classes_per_layer - 1 do
+      for m = 0 to p.methods_per_class - 1 do
+        slots := (layer, c, m) :: !slots
+      done
+    done
+  done;
+  let slots = Rng.shuffle rng !slots in
+  let bug_plan : (int * int * int, (Patterns.ctx -> param:string -> Patterns.piece) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let rec assign_bugs bugs slots =
+    match (bugs, slots) with
+    | [], _ -> ()
+    | (_, n) :: rest, _ when n <= 0 -> assign_bugs rest slots
+    | (checker, n) :: rest, slot :: more ->
+        let pattern = Rng.pick rng (Patterns.bug_patterns_for checker) in
+        let cur =
+          match Hashtbl.find_opt bug_plan slot with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.replace bug_plan slot r;
+              r
+        in
+        cur := pattern :: !cur;
+        assign_bugs ((checker, n - 1) :: rest) more
+    | _ :: _, [] ->
+        invalid_arg "Generator.generate: more bugs than method slots"
+  in
+  assign_bugs p.bugs slots;
+  (* loops sprinkled over a few slots *)
+  let loop_slots = Hashtbl.create 8 in
+  List.iteri
+    (fun i slot -> if i < p.loops_per_subject then Hashtbl.replace loop_slots slot ())
+    (Rng.shuffle rng slots);
+  let all_helpers = ref [] in
+  let all_expected = ref [] in
+  let layer_methods : (int, (string * string) list) Hashtbl.t = Hashtbl.create 8 in
+  let classes = ref [] in
+  for layer = 0 to p.layers - 1 do
+    let prev_layer =
+      if layer = 0 then []
+      else Option.value ~default:[] (Hashtbl.find_opt layer_methods (layer - 1))
+    in
+    (* call-target assignment: cover every previous-layer method at least
+       once before handing out random extras, so no planted bug is dead
+       code *)
+    let uncovered = ref (Rng.shuffle rng prev_layer) in
+    let pick_callees n =
+      let rec go n acc =
+        if n = 0 || prev_layer = [] then List.rev acc
+        else
+          match !uncovered with
+          | c :: rest ->
+              uncovered := rest;
+              go (n - 1) (c :: acc)
+          | [] -> go (n - 1) (Rng.pick rng prev_layer :: acc)
+      in
+      go n []
+    in
+    let this_layer = ref [] in
+    for c = 0 to p.classes_per_layer - 1 do
+      let cname = Printf.sprintf "%s_L%d_C%d" (String.capitalize_ascii p.name) layer c in
+      let methods = ref [] in
+      for m = 0 to p.methods_per_class - 1 do
+        let name = Printf.sprintf "op%d" m in
+        let planted =
+          match Hashtbl.find_opt bug_plan (layer, c, m) with
+          | Some r -> !r
+          | None -> []
+        in
+        let with_loop = Hashtbl.mem loop_slots (layer, c, m) in
+        let mth, helpers, expected =
+          gen_method ctx ~cls:cname ~name
+            ~callees:(pick_callees (min p.calls_per_method (List.length prev_layer)))
+            ~planted
+            ~n_patterns:p.patterns_per_method
+            ~with_loop
+        in
+        methods := mth :: !methods;
+        all_helpers := !all_helpers @ helpers;
+        all_expected := !all_expected @ expected;
+        this_layer := (cname, name) :: !this_layer
+      done;
+      classes := Jir.Builder.cls cname (List.rev !methods) :: !classes
+    done;
+    Hashtbl.replace layer_methods layer !this_layer
+  done;
+  (* the entry point drives the top layer *)
+  let top = Option.value ~default:[] (Hashtbl.find_opt layer_methods (p.layers - 1)) in
+  let main_body =
+    List.map
+      (fun (cls, name) ->
+        Jir.Builder.sstmt ~at:(Patterns.next_line ctx) cls name
+          [ Jir.Builder.v "argc" ])
+      top
+    @ [ Jir.Builder.ret0 ~at:(Patterns.next_line ctx) () ]
+  in
+  let main_cls =
+    Jir.Builder.cls "Main"
+      [ Jir.Builder.meth ~cls:"Main" ~name:"main"
+          ~params:[ (Jir.Ast.Tint, "argc") ] main_body ]
+  in
+  let helpers_cls = Jir.Builder.cls helpers_class !all_helpers in
+  let program =
+    Jir.Builder.resolved
+      ~entries:[ ("Main", "main") ]
+      (main_cls :: helpers_cls :: List.rev !classes)
+  in
+  let loc =
+    let text = Jir.Pp.program_to_string program in
+    List.length (String.split_on_char '\n' text)
+  in
+  { profile = p;
+    program;
+    expected = !all_expected;
+    loc;
+    n_methods = List.length (Jir.Ast.all_methods program) }
+
+(* ------------------------------------------------------------------ *)
+(* The four subjects of the evaluation, shaped after Table 1/Table 2:   *)
+(* HBase is the largest and carries the most exception bugs; ZooKeeper  *)
+(* is the smallest; the lock checker finds exactly one bug, in HDFS.    *)
+(* Bug counts are the paper's scaled down by roughly 8x so a laptop     *)
+(* regenerates every table in minutes.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mini_zookeeper () =
+  generate
+    { name = "minizk";
+      description = "distributed coordination service (ZooKeeper profile)";
+      seed = 101;
+      layers = 3;
+      classes_per_layer = 2;
+      methods_per_class = 3;
+      patterns_per_method = 2;
+      calls_per_method = 2;
+      bugs = [ ("io", 1); ("exception", 7); ("socket", 1); ("null", 1) ];
+      loops_per_subject = 2 }
+
+let mini_hadoop () =
+  generate
+    { name = "minihadoop";
+      description = "data-processing platform (Hadoop profile)";
+      seed = 202;
+      layers = 3;
+      classes_per_layer = 3;
+      methods_per_class = 3;
+      patterns_per_method = 2;
+      calls_per_method = 2;
+      bugs = [ ("exception", 7) ];
+      loops_per_subject = 3 }
+
+let mini_hdfs () =
+  generate
+    { name = "minihdfs";
+      description = "distributed file system (HDFS profile)";
+      seed = 303;
+      layers = 3;
+      classes_per_layer = 3;
+      methods_per_class = 3;
+      patterns_per_method = 2;
+      calls_per_method = 2;
+      bugs = [ ("io", 1); ("lock", 1); ("exception", 5); ("socket", 1) ];
+      loops_per_subject = 3 }
+
+let mini_hbase () =
+  generate
+    { name = "minihbase";
+      description = "distributed database (HBase profile)";
+      seed = 404;
+      layers = 3;
+      classes_per_layer = 4;
+      methods_per_class = 3;
+      patterns_per_method = 2;
+      calls_per_method = 2;
+      bugs = [ ("io", 2); ("exception", 22) ];
+      loops_per_subject = 4 }
+
+let all_subjects () =
+  [ mini_zookeeper (); mini_hadoop (); mini_hdfs (); mini_hbase () ]

@@ -1,0 +1,449 @@
+(* Code patterns the workload generator plants into synthetic subjects.
+   Each pattern produces a statement snippet (plus any helper methods it
+   needs) together with the ground-truth expectations it carries, so the
+   benchmark harness can score reported warnings as true/false positives.
+
+   The correct variants include *infeasible-path decoys*: code that is only
+   safe because the unsafe path contradicts the branch conditions guarding
+   it.  A path-insensitive checker reports these; Grapple must not.  They
+   are what makes the precision columns of Table 2 meaningful. *)
+
+open Jir.Builder
+
+type expectation = {
+  exp_checker : string;                  (* io | lock | socket | exception *)
+  exp_kind : [ `Leak | `Error | `Exn ];
+  exp_line : int;
+  exp_note : string;
+}
+
+type piece = {
+  stmts : Jir.Ast.stmt list;
+  helpers : Jir.Ast.meth list;  (* added to the subject's Helpers class *)
+  expected : expectation list;
+}
+
+type ctx = {
+  rng : Rng.t;
+  file : string;
+  mutable line : int;
+  mutable counter : int;
+  helpers_class : string;
+}
+
+let create_ctx ~seed ~file ~helpers_class =
+  { rng = Rng.create seed; file; line = 0; counter = 0; helpers_class }
+
+let next_line ctx =
+  ctx.line <- ctx.line + 1;
+  { Jir.Ast.file = ctx.file; line = ctx.line }
+
+let fresh ctx prefix =
+  ctx.counter <- ctx.counter + 1;
+  Printf.sprintf "%s%d" prefix ctx.counter
+
+let no_expect stmts = { stmts; helpers = []; expected = [] }
+
+let writer_t = Jir.Ast.Tobj "FileWriter"
+let lock_t = Jir.Ast.Tobj "ReentrantLock"
+let socket_t = Jir.Ast.Tobj "Socket"
+
+(* ---------------- I/O resource patterns ---------------- *)
+
+(* w = new FileWriter(); w.write(p); w.close();  -- correct *)
+let io_ok ctx ~param =
+  let w = fresh ctx "w" in
+  no_expect
+    [ decl ~at:(next_line ctx) writer_t w (new_ "FileWriter" []);
+      call_stmt ~at:(next_line ctx) w "write" [ v param ];
+      call_stmt ~at:(next_line ctx) w "close" [] ]
+
+(* the close is skipped on a feasible branch -- leak *)
+let io_leak_branch ctx ~param =
+  let w = fresh ctx "w" in
+  let alloc_at = next_line ctx in
+  let stmts =
+    [ decl ~at:alloc_at writer_t w (new_ "FileWriter" []);
+      call_stmt ~at:(next_line ctx) w "write" [ v param ];
+      if_ ~at:(next_line ctx)
+        (v param >: i 10)
+        [ call_stmt ~at:(next_line ctx) w "close" [] ]
+        [] ]
+  in
+  { stmts;
+    helpers = [];
+    expected =
+      [ { exp_checker = "io"; exp_kind = `Leak; exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "close skipped when param <= 10" } ] }
+
+(* allocation and close are guarded by the same condition: the path that
+   skips the close cannot allocate -- correct, and a decoy for
+   path-insensitive checkers *)
+let io_safe_infeasible ctx ~param =
+  let w = fresh ctx "w" in
+  let stmts =
+    [ decl ~at:(next_line ctx) writer_t w null;
+      if_ ~at:(next_line ctx)
+        (v param >=: i 0)
+        [ assign ~at:(next_line ctx) w (new_ "FileWriter" []);
+          call_stmt ~at:(next_line ctx) w "write" [ i 1 ] ]
+        [];
+      if_ ~at:(next_line ctx)
+        (v param >=: i 0)
+        [ call_stmt ~at:(next_line ctx) w "close" [] ]
+        [] ]
+  in
+  no_expect stmts
+
+(* write after close on a feasible branch -- error state *)
+let io_use_after_close ctx ~param =
+  let w = fresh ctx "w" in
+  let alloc_at = next_line ctx in
+  let stmts =
+    [ decl ~at:alloc_at writer_t w (new_ "FileWriter" []);
+      if_ ~at:(next_line ctx)
+        (v param >: i 3)
+        [ call_stmt ~at:(next_line ctx) w "close" [] ]
+        [];
+      call_stmt ~at:(next_line ctx) w "write" [ v param ];
+      call_stmt ~at:(next_line ctx) w "close" [] ]
+  in
+  { stmts;
+    helpers = [];
+    expected =
+      [ { exp_checker = "io"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "write after close when param > 3" } ] }
+
+(* the resource is created by a helper method and closed by the caller --
+   correct, exercises parameter passing and value return *)
+let io_ok_via_helper ctx ~param =
+  let helper_name = fresh ctx "makeWriter" in
+  let w = fresh ctx "w" in
+  let hw = fresh ctx "hw" in
+  let helper =
+    meth ~cls:ctx.helpers_class ~name:helper_name ~params:[ (Jir.Ast.Tint, "n") ]
+      ~ret:writer_t
+      [ decl ~at:(next_line ctx) writer_t hw (new_ "FileWriter" []);
+        call_stmt ~at:(next_line ctx) hw "write" [ v "n" ];
+        return ~at:(next_line ctx) (Some (v hw)) ]
+  in
+  { stmts =
+      [ decl ~at:(next_line ctx) writer_t w
+          (scall_rhs ctx.helpers_class helper_name [ v param ]);
+        call_stmt ~at:(next_line ctx) w "close" [] ];
+    helpers = [ helper ];
+    expected = [] }
+
+(* created by a helper, never closed anywhere -- leak at the helper's
+   allocation *)
+let io_leak_via_helper ctx ~param =
+  let helper_name = fresh ctx "openLog" in
+  let w = fresh ctx "w" in
+  let hw = fresh ctx "hw" in
+  let alloc_at = next_line ctx in
+  let helper =
+    meth ~cls:ctx.helpers_class ~name:helper_name ~params:[ (Jir.Ast.Tint, "n") ]
+      ~ret:writer_t
+      [ decl ~at:alloc_at writer_t hw (new_ "FileWriter" []);
+        return ~at:(next_line ctx) (Some (v hw)) ]
+  in
+  { stmts =
+      [ decl ~at:(next_line ctx) writer_t w
+          (scall_rhs ctx.helpers_class helper_name [ v param ]);
+        call_stmt ~at:(next_line ctx) w "write" [ v param ] ];
+    helpers = [ helper ];
+    expected =
+      [ { exp_checker = "io"; exp_kind = `Leak; exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "helper-created writer never closed" } ] }
+
+(* resource stored into a container field and closed through the loaded
+   alias -- correct, exercises store[f] alias load[f] *)
+let io_field_alias_ok ctx ~param =
+  let h = fresh ctx "holder" in
+  let w = fresh ctx "w" in
+  let u = fresh ctx "u" in
+  no_expect
+    [ decl ~at:(next_line ctx) (Jir.Ast.Tobj "Holder") h (new_ "Holder" []);
+      decl ~at:(next_line ctx) writer_t w (new_ "FileWriter" []);
+      store ~at:(next_line ctx) h "res" w;
+      call_stmt ~at:(next_line ctx) w "write" [ v param ];
+      decl ~at:(next_line ctx) writer_t u (load h "res");
+      call_stmt ~at:(next_line ctx) u "close" [] ]
+
+(* stored into a field and only written through the alias -- leak *)
+let io_field_alias_leak ctx ~param =
+  let h = fresh ctx "holder" in
+  let w = fresh ctx "w" in
+  let u = fresh ctx "u" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:(next_line ctx) (Jir.Ast.Tobj "Holder") h (new_ "Holder" []);
+        decl ~at:alloc_at writer_t w (new_ "FileWriter" []);
+        store ~at:(next_line ctx) h "res" w;
+        decl ~at:(next_line ctx) writer_t u (load h "res");
+        call_stmt ~at:(next_line ctx) u "write" [ v param ] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "io"; exp_kind = `Leak; exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "field-stored writer never closed" } ] }
+
+(* ---------------- lock patterns ---------------- *)
+
+let lock_ok ctx ~param =
+  let l = fresh ctx "lk" in
+  no_expect
+    [ decl ~at:(next_line ctx) lock_t l (new_ "ReentrantLock" []);
+      call_stmt ~at:(next_line ctx) l "lock" [];
+      call_stmt ~at:(next_line ctx) l "unlock" [];
+      if_ ~at:(next_line ctx)
+        (v param >: i 0)
+        [ call_stmt ~at:(next_line ctx) l "lock" [];
+          call_stmt ~at:(next_line ctx) l "unlock" [] ]
+        [] ]
+
+(* lock/unlock mis-ordered (the HDFS bug of §5.1) -- error state *)
+let lock_misorder ctx ~param:_ =
+  let l = fresh ctx "lk" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:alloc_at lock_t l (new_ "ReentrantLock" []);
+        call_stmt ~at:(next_line ctx) l "unlock" [];
+        call_stmt ~at:(next_line ctx) l "lock" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "lock"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "unlock before lock" } ] }
+
+(* lock held on a feasible early-return-free path -- leak *)
+let lock_leak_branch ctx ~param =
+  let l = fresh ctx "lk" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:alloc_at lock_t l (new_ "ReentrantLock" []);
+        call_stmt ~at:(next_line ctx) l "lock" [];
+        if_ ~at:(next_line ctx)
+          (v param <: i 100)
+          [ call_stmt ~at:(next_line ctx) l "unlock" [] ]
+          [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "lock"; exp_kind = `Leak;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "lock not released when param >= 100" } ] }
+
+(* ---------------- socket patterns ---------------- *)
+
+let socket_ok ctx ~param =
+  let s = fresh ctx "srv" in
+  no_expect
+    [ decl ~at:(next_line ctx) (Jir.Ast.Tobj "ServerSocketChannel") s
+        (new_ "ServerSocketChannel" []);
+      call_stmt ~at:(next_line ctx) s "bind" [ v param ];
+      call_stmt ~at:(next_line ctx) s "configureBlocking" [ i 0 ];
+      call_stmt ~at:(next_line ctx) s "accept" [];
+      call_stmt ~at:(next_line ctx) s "close" [] ]
+
+(* the Figure 1 shape: the socket escapes through an exception raised
+   between open and close, and the handler does not close it -- leak *)
+let socket_leak_exn ctx ~param =
+  let s = fresh ctx "sock" in
+  let ev = fresh ctx "e" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:alloc_at socket_t s (new_ "Socket" []);
+        try_ ~at:(next_line ctx)
+          [ call_stmt ~at:(next_line ctx) s "connect" [ v param ];
+            call_stmt ~at:(next_line ctx) s "close" [] ]
+          [ catch "IOException" ev
+              [ (* log only; the socket stays open *)
+                decl ~at:(next_line ctx) Jir.Ast.Tint (fresh ctx "code")
+                  (Jir.Builder.e (i 1)) ] ] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "socket"; exp_kind = `Leak;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "socket left open on exception path" } ] }
+
+(* same shape with a handler that closes -- correct *)
+let socket_ok_exn ctx ~param =
+  let s = fresh ctx "sock" in
+  let ev = fresh ctx "e" in
+  no_expect
+    [ decl ~at:(next_line ctx) socket_t s (new_ "Socket" []);
+      try_ ~at:(next_line ctx)
+        [ call_stmt ~at:(next_line ctx) s "connect" [ v param ];
+          call_stmt ~at:(next_line ctx) s "close" [] ]
+        [ catch "IOException" ev
+            [ call_stmt ~at:(next_line ctx) s "close" [] ] ] ]
+
+(* the full Figure 1 dance: reconfigure saves the old channel, opens and
+   configures a new one, and closes the old one only afterwards; the
+   configuration calls may throw, and the handler closes neither channel,
+   so both leak on the exception path -- two expectations *)
+let socket_reconfigure_leak ctx ~param =
+  let old_s = fresh ctx "oldSS" in
+  let new_s = fresh ctx "ss" in
+  let ev = fresh ctx "e" in
+  let old_at = next_line ctx in
+  let new_at = next_line ctx in
+  { stmts =
+      [ decl ~at:old_at (Jir.Ast.Tobj "ServerSocketChannel") old_s
+          (new_ "ServerSocketChannel" []);
+        call_stmt ~at:(next_line ctx) old_s "bind" [ v param ];
+        try_ ~at:(next_line ctx)
+          [ decl ~at:new_at (Jir.Ast.Tobj "ServerSocketChannel") new_s
+              (new_ "ServerSocketChannel" []);
+            call_stmt ~at:(next_line ctx) new_s "bind" [ v param +: i 1 ];
+            call_stmt ~at:(next_line ctx) new_s "configureBlocking" [ i 0 ];
+            call_stmt ~at:(next_line ctx) old_s "close" [];
+            call_stmt ~at:(next_line ctx) new_s "close" [] ]
+          [ catch "IOException" ev
+              [ decl ~at:(next_line ctx) Jir.Ast.Tint (fresh ctx "logged")
+                  (Jir.Builder.e (i 1)) ] ] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "socket"; exp_kind = `Leak;
+          exp_line = old_at.Jir.Ast.line;
+          exp_note = "old channel not closed when reconfiguration throws" };
+        { exp_checker = "socket"; exp_kind = `Leak;
+          exp_line = new_at.Jir.Ast.line;
+          exp_note = "new channel not closed when its own setup throws" } ] }
+
+(* accept before bind on a feasible path -- error state *)
+let socket_accept_unbound ctx ~param =
+  let s = fresh ctx "srv" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:alloc_at (Jir.Ast.Tobj "ServerSocketChannel") s
+          (new_ "ServerSocketChannel" []);
+        if_ ~at:(next_line ctx)
+          (v param >: i 0)
+          [ call_stmt ~at:(next_line ctx) s "bind" [ v param ] ]
+          [];
+        call_stmt ~at:(next_line ctx) s "accept" [];
+        call_stmt ~at:(next_line ctx) s "close" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "socket"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "accept on unbound channel when param <= 0" } ] }
+
+(* ---------------- exception patterns ---------------- *)
+
+(* a helper throws an application error that no caller handles -- bug *)
+let exn_unhandled ctx ~param =
+  let helper_name = fresh ctx "risky" in
+  let throw_at = next_line ctx in
+  let helper =
+    meth ~cls:ctx.helpers_class ~name:helper_name ~params:[ (Jir.Ast.Tint, "n") ]
+      ~throws:[ "AppError" ]
+      [ if_ ~at:(next_line ctx)
+          (v "n" >: i 0)
+          [ throw ~at:throw_at "AppError" ]
+          [];
+        ret0 ~at:(next_line ctx) () ]
+  in
+  { stmts = [ sstmt ~at:(next_line ctx) ctx.helpers_class helper_name [ v param ] ];
+    helpers = [ helper ];
+    expected =
+      [ { exp_checker = "exception"; exp_kind = `Exn;
+          exp_line = throw_at.Jir.Ast.line;
+          exp_note = "AppError escapes every caller" } ] }
+
+(* same, but the caller installs a handler -- correct *)
+let exn_handled ctx ~param =
+  let helper_name = fresh ctx "guarded" in
+  let ev = fresh ctx "e" in
+  let helper =
+    meth ~cls:ctx.helpers_class ~name:helper_name ~params:[ (Jir.Ast.Tint, "n") ]
+      ~throws:[ "AppError" ]
+      [ if_ ~at:(next_line ctx)
+          (v "n" >: i 5)
+          [ throw ~at:(next_line ctx) "AppError" ]
+          [];
+        ret0 ~at:(next_line ctx) () ]
+  in
+  { stmts =
+      [ try_ ~at:(next_line ctx)
+          [ sstmt ~at:(next_line ctx) ctx.helpers_class helper_name [ v param ] ]
+          [ catch "AppError" ev [] ] ];
+    helpers = [ helper ];
+    expected = [] }
+
+(* a throw that is structurally guarded by an impossible condition --
+   correct, decoy for path-insensitive exception checkers *)
+let exn_infeasible ctx ~param =
+  let x = fresh ctx "x" in
+  no_expect
+    [ decl ~at:(next_line ctx) Jir.Ast.Tint x (Jir.Builder.e (v param *: i 2));
+      if_ ~at:(next_line ctx)
+        ((v x >: v param +: v param))
+        [ throw ~at:(next_line ctx) "AppError" ]
+        [] ]
+
+(* ---------------- null-dereference patterns (extension checker) ------- *)
+
+(* the receiver may still be null on a feasible path -- null deref *)
+let null_deref_branch ctx ~param =
+  let w = fresh ctx "nw" in
+  let null_at = next_line ctx in
+  { stmts =
+      [ decl ~at:null_at writer_t w null;
+        if_ ~at:(next_line ctx)
+          (v param >: i 0)
+          [ assign ~at:(next_line ctx) w (new_ "FileWriter" []);
+            call_stmt ~at:(next_line ctx) w "write" [ v param ] ]
+          [];
+        call_stmt ~at:(next_line ctx) w "close" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "null"; exp_kind = `Error;
+          exp_line = null_at.Jir.Ast.line;
+          exp_note = "close on null receiver when param <= 0" } ] }
+
+(* every dereference is dominated by the same guard as the assignment --
+   correct, and a decoy for path-insensitive null checkers *)
+let null_safe_guarded ctx ~param =
+  let w = fresh ctx "nw" in
+  no_expect
+    [ decl ~at:(next_line ctx) writer_t w null;
+      if_ ~at:(next_line ctx)
+        (v param >=: i 10)
+        [ assign ~at:(next_line ctx) w (new_ "FileWriter" []) ]
+        [];
+      if_ ~at:(next_line ctx)
+        (v param >=: i 10)
+        [ call_stmt ~at:(next_line ctx) w "write" [ v param ];
+          call_stmt ~at:(next_line ctx) w "close" [] ]
+        [] ]
+
+(* ---------------- filler ---------------- *)
+
+(* plain integer computation with branches; no property involved *)
+let filler ctx ~param =
+  let a = fresh ctx "a" in
+  let b = fresh ctx "b" in
+  no_expect
+    [ decl ~at:(next_line ctx) Jir.Ast.Tint a (Jir.Builder.e (v param +: i 7));
+      decl ~at:(next_line ctx) Jir.Ast.Tint b (Jir.Builder.e (v a *: i 2));
+      if_ ~at:(next_line ctx)
+        (v b >: v a)
+        [ assign ~at:(next_line ctx) a (Jir.Builder.e (v b -: i 1)) ]
+        [ assign ~at:(next_line ctx) b (Jir.Builder.e (v a +: i 1)) ] ]
+
+(* the pattern sets, grouped the way the generator plants them *)
+let correct_patterns =
+  [ io_ok; io_safe_infeasible; io_ok_via_helper; io_field_alias_ok; lock_ok;
+    socket_ok; socket_ok_exn; exn_handled; exn_infeasible; null_safe_guarded;
+    filler ]
+
+let bug_patterns_for = function
+  | "io" -> [ io_leak_branch; io_use_after_close; io_leak_via_helper;
+              io_field_alias_leak ]
+  | "lock" -> [ lock_misorder; lock_leak_branch ]
+  | "socket" -> [ socket_leak_exn; socket_accept_unbound; socket_reconfigure_leak ]
+  | "exception" -> [ exn_unhandled ]
+  | "null" -> [ null_deref_branch ]
+  | c -> invalid_arg ("Patterns.bug_patterns_for: " ^ c)

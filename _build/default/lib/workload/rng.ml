@@ -1,0 +1,42 @@
+(* Deterministic pseudo-random numbers (splitmix64) so generated subjects
+   are reproducible across runs and machines, independent of the stdlib
+   [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 (t : t) : int64 =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform int in [0, bound) *)
+let int (t : t) bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 t) Int64.max_int)
+                  (Int64.of_int bound))
+
+let bool (t : t) = int t 2 = 0
+
+(* true with probability pct/100 *)
+let chance (t : t) pct = int t 100 < pct
+
+let pick (t : t) (l : 'a list) =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle (t : t) (l : 'a list) =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random numbers (splitmix64), so generated subjects
+    are reproducible across runs and machines. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+
+val chance : t -> int -> bool
+(** [chance t pct] is true with probability [pct]/100. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates permutation. *)

@@ -1,0 +1,67 @@
+(* Scoring of checker warnings against a subject's injected ground truth
+   (Table 2).  A warning is a true positive when an injected bug with the
+   same checker, compatible kind, and the same source line matches; each
+   expectation matches at most one warning.  Unmatched warnings are false
+   positives; unmatched expectations are misses (false negatives). *)
+
+module Report = Grapple.Report
+
+type score = {
+  tp : int;
+  fp : int;
+  fn : int;
+  fp_reports : Report.t list;
+  missed : Patterns.expectation list;
+}
+
+let kind_matches (k : Report.kind) (e : [ `Leak | `Error | `Exn ]) =
+  match (k, e) with
+  | Report.Leak _, `Leak
+  | Report.Error_state _, `Error
+  | Report.Unhandled_exception _, `Exn ->
+      true
+  | _ -> false
+
+let report_line (r : Report.t) = r.Report.alloc_at.Jir.Ast.line
+
+(* Score the warnings of one checker. *)
+let score ~(checker : string) ~(expected : Patterns.expectation list)
+    ~(reports : Report.t list) : score =
+  let expected =
+    List.filter (fun e -> e.Patterns.exp_checker = checker) expected
+  in
+  let reports = List.filter (fun r -> r.Report.checker = checker) reports in
+  let unmatched = Hashtbl.create 16 in
+  List.iteri (fun i e -> Hashtbl.replace unmatched i e) expected;
+  let tp = ref 0 in
+  let fp_reports = ref [] in
+  List.iter
+    (fun r ->
+      let matching =
+        Hashtbl.fold
+          (fun i e best ->
+            match best with
+            | Some _ -> best
+            | None ->
+                if
+                  kind_matches r.Report.kind e.Patterns.exp_kind
+                  && report_line r = e.Patterns.exp_line
+                then Some i
+                else None)
+          unmatched None
+      in
+      match matching with
+      | Some i ->
+          Hashtbl.remove unmatched i;
+          incr tp
+      | None -> fp_reports := r :: !fp_reports)
+    reports;
+  let missed = Hashtbl.fold (fun _ e acc -> e :: acc) unmatched [] in
+  { tp = !tp;
+    fp = List.length !fp_reports;
+    fn = List.length missed;
+    fp_reports = List.rev !fp_reports;
+    missed }
+
+let pp ppf (s : score) =
+  Fmt.pf ppf "TP=%d FP=%d FN=%d" s.tp s.fp s.fn

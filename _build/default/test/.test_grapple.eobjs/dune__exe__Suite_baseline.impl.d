@@ -1,0 +1,1 @@
+test/suite_baseline.ml: Alcotest Baseline Cfl Filename Gen Graphgen Jir List Pathenc Printf QCheck QCheck_alcotest Smt String Symexec Unix

@@ -1,0 +1,1 @@
+test/suite_encoding.ml: Alcotest Buffer Bytes Gen List Pathenc Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_engine.ml: Alcotest Cfl Engine Filename Float Gen Hashtbl List Pathenc Printf QCheck QCheck_alcotest Queue Smt String Unix

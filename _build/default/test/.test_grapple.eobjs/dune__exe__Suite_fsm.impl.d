@@ -1,0 +1,1 @@
+test/suite_fsm.ml: Alcotest Array Checkers Fsm Gen List QCheck QCheck_alcotest

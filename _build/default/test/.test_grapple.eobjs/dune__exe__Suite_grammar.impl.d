@@ -1,0 +1,1 @@
+test/suite_grammar.ml: Alcotest Cfl Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_graphgen.ml: Alcotest Array Cfl Checkers Engine Filename Graphgen Hashtbl Jir List Option Pathenc Printf Random Symexec Unix

@@ -1,0 +1,1 @@
+test/suite_jir.ml: Alcotest Gen Hashtbl Jir List Option Printf QCheck QCheck_alcotest String Workload

@@ -1,0 +1,1 @@
+test/suite_pipeline.ml: Alcotest Checkers Filename Grapple Jir List Printf Unix

@@ -1,0 +1,1 @@
+test/suite_smt.ml: Alcotest Array Fmt Gen List Printf QCheck QCheck_alcotest Smt

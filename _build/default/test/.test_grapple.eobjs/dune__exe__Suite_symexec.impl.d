@@ -1,0 +1,1 @@
+test/suite_symexec.ml: Alcotest Hashtbl Jir List Option Pathenc Smt String Symexec

@@ -1,0 +1,432 @@
+(* Tests for the disk-based engine: LRU cache, storage, partitioning,
+   transitive closure with and without constraints, repartitioning, and the
+   memoization counters. *)
+
+module E = Pathenc.Encoding
+module Pg = Cfl.Pointer_grammar
+module AEngine = Engine.Make (Cfl.Pointer_grammar)
+
+let fresh_workdir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "grapple-test-engine-%d-%d" (Unix.getpid ()) !counter)
+    in
+    Engine.ensure_dir dir;
+    dir
+
+(* ---------------- LRU ---------------- *)
+
+let test_lru_basic () =
+  let c = Engine.Lru.create 2 in
+  Engine.Lru.add c "a" 1;
+  Engine.Lru.add c "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Engine.Lru.find c "a");
+  Engine.Lru.add c "c" 3;  (* evicts b: a was refreshed by the find *)
+  Alcotest.(check (option int)) "b evicted" None (Engine.Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Engine.Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Engine.Lru.find c "c");
+  Alcotest.(check int) "size" 2 (Engine.Lru.size c)
+
+let test_lru_update () =
+  let c = Engine.Lru.create 2 in
+  Engine.Lru.add c "a" 1;
+  Engine.Lru.add c "a" 10;
+  Alcotest.(check (option int)) "updated" (Some 10) (Engine.Lru.find c "a");
+  Alcotest.(check int) "no duplicate" 1 (Engine.Lru.size c)
+
+let test_lru_order () =
+  let c = Engine.Lru.create 3 in
+  Engine.Lru.add c 1 ();
+  Engine.Lru.add c 2 ();
+  Engine.Lru.add c 3 ();
+  ignore (Engine.Lru.find c 1);
+  Alcotest.(check (list int)) "mru order" [ 1; 3; 2 ] (Engine.Lru.keys c)
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"lru capacity invariant" ~count:100
+    QCheck.(list (pair (int_bound 20) (int_bound 100)))
+    (fun ops ->
+      let c = Engine.Lru.create 5 in
+      List.iter (fun (k, v) -> Engine.Lru.add c k v) ops;
+      Engine.Lru.size c <= 5)
+
+(* ---------------- storage ---------------- *)
+
+let test_storage_roundtrip () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "edges.bin" in
+  let edges =
+    [ { Engine.Storage.src = 1; dst = 2; label = 0;
+        enc = [ E.Interval { meth = 0; first = 0; last = 3 } ] };
+      { Engine.Storage.src = 1000; dst = 2000; label = 77;
+        enc = [ E.Call 5; E.Ret 5 ] } ]
+  in
+  let _ = Engine.Storage.write_file ~path edges in
+  let back, _bytes = Engine.Storage.read_file ~path in
+  Alcotest.(check int) "count" 2 (List.length back);
+  Alcotest.(check bool) "contents equal" true (back = edges)
+
+let test_storage_append () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "edges.bin" in
+  let e n = { Engine.Storage.src = n; dst = n + 1; label = 1; enc = [] } in
+  let _ = Engine.Storage.write_file ~path [ e 1 ] in
+  let _ = Engine.Storage.append_file ~path [ e 2; e 3 ] in
+  let back, _ = Engine.Storage.read_file ~path in
+  Alcotest.(check int) "three records" 3 (List.length back)
+
+let test_storage_missing_file () =
+  let back, bytes = Engine.Storage.read_file ~path:"/nonexistent/nowhere.bin" in
+  Alcotest.(check int) "no edges" 0 (List.length back);
+  Alcotest.(check int) "no bytes" 0 bytes
+
+(* ---------------- closure without constraints ---------------- *)
+
+(* a trivially-true decode: every path is feasible *)
+let true_decode (_ : E.t) = Smt.Formula.True
+
+let mk_engine ?(config = None) () =
+  let workdir = fresh_workdir () in
+  let config =
+    match config with
+    | Some c -> { c with Engine.workdir }
+    | None ->
+        { (Engine.default_config ~workdir) with
+          Engine.target_partitions = 2 }
+  in
+  AEngine.create ~config ~decode:true_decode ~workdir ()
+
+let seed_chain t n =
+  (* o --new--> v0 --assign--> v1 --assign--> ... --assign--> v(n-1) *)
+  AEngine.add_seed t ~src:0 ~dst:1 ~label:Pg.New
+    ~enc:[ E.Interval { meth = 0; first = 0; last = 0 } ];
+  for i = 1 to n - 1 do
+    AEngine.add_seed t ~src:i ~dst:(i + 1) ~label:Pg.Assign
+      ~enc:[ E.Interval { meth = 0; first = 0; last = 0 } ]
+  done
+
+let count_label t label =
+  AEngine.fold_edges t
+    (fun acc e -> if Pg.equal e.AEngine.label label then acc + 1 else acc)
+    0
+
+let test_closure_chain () =
+  let t = mk_engine () in
+  seed_chain t 5;
+  AEngine.run t;
+  (* flowsTo reaches every variable in the chain *)
+  Alcotest.(check int) "flowsTo edges" 5 (count_label t Pg.Flows_to);
+  (* each flowsTo has a mirrored bar edge *)
+  Alcotest.(check int) "bar edges" 5 (count_label t Pg.Flows_to_bar);
+  (* all pairs rooted at the object alias pairwise: 5x5 *)
+  Alcotest.(check int) "alias edges" 25 (count_label t Pg.Alias)
+
+let test_closure_store_load () =
+  (* h1 = new H; w = new W; h1.f = w; h2 = h1; u = h2.f
+     flowsTo(o_w, u) requires store/alias/load matching *)
+  let t = mk_engine () in
+  let iv = [ E.Interval { meth = 0; first = 0; last = 0 } ] in
+  let oh = 0 and h1 = 1 and ow = 2 and w = 3 and h2 = 4 and u = 5 in
+  AEngine.add_seed t ~src:oh ~dst:h1 ~label:Pg.New ~enc:iv;
+  AEngine.add_seed t ~src:ow ~dst:w ~label:Pg.New ~enc:iv;
+  AEngine.add_seed t ~src:w ~dst:h1 ~label:(Pg.Store 9) ~enc:iv;
+  AEngine.add_seed t ~src:h1 ~dst:h2 ~label:Pg.Assign ~enc:iv;
+  AEngine.add_seed t ~src:h2 ~dst:u ~label:(Pg.Load 9) ~enc:iv;
+  AEngine.run t;
+  let flows_to_u = ref false in
+  AEngine.iter_result_edges t (fun e ->
+      if Pg.equal e.AEngine.label Pg.Flows_to && e.AEngine.src = ow
+         && e.AEngine.dst = u
+      then flows_to_u := true);
+  Alcotest.(check bool) "object flows through the heap" true !flows_to_u
+
+let test_closure_field_mismatch () =
+  let t = mk_engine () in
+  let iv = [ E.Interval { meth = 0; first = 0; last = 0 } ] in
+  AEngine.add_seed t ~src:0 ~dst:1 ~label:Pg.New ~enc:iv;
+  AEngine.add_seed t ~src:2 ~dst:3 ~label:Pg.New ~enc:iv;
+  AEngine.add_seed t ~src:3 ~dst:1 ~label:(Pg.Store 9) ~enc:iv;
+  AEngine.add_seed t ~src:1 ~dst:4 ~label:(Pg.Load 8) ~enc:iv;
+  AEngine.run t;
+  let bad = ref false in
+  AEngine.iter_result_edges t (fun e ->
+      if Pg.equal e.AEngine.label Pg.Flows_to && e.AEngine.src = 2
+         && e.AEngine.dst = 4
+      then bad := true);
+  Alcotest.(check bool) "different fields do not match" false !bad
+
+let test_repartitioning () =
+  let workdir = fresh_workdir () in
+  let config =
+    { (Engine.default_config ~workdir) with
+      Engine.target_partitions = 1;
+      max_edges_per_partition = 8 }
+  in
+  let t = AEngine.create ~config ~decode:true_decode ~workdir () in
+  seed_chain t 20;
+  AEngine.run t;
+  Alcotest.(check bool) "partitions split" true (AEngine.n_partitions t > 1);
+  Alcotest.(check bool) "repartitions counted" true
+    ((AEngine.metrics t).Engine.Metrics.repartitions > 0);
+  (* closure is still complete after splits *)
+  Alcotest.(check int) "flowsTo complete" 20 (count_label t Pg.Flows_to)
+
+let test_cache_counters () =
+  let workdir = fresh_workdir () in
+  let t =
+    AEngine.create
+      ~config:{ (Engine.default_config ~workdir) with Engine.target_partitions = 2 }
+      ~decode:true_decode ~workdir ()
+  in
+  seed_chain t 6;
+  AEngine.run t;
+  let m = AEngine.metrics t in
+  Alcotest.(check bool) "lookups happened" true (m.Engine.Metrics.cache_lookups > 0);
+  Alcotest.(check bool) "some hits" true (m.Engine.Metrics.cache_hits > 0);
+  Alcotest.(check bool) "solved <= lookups" true
+    (m.Engine.Metrics.constraints_solved <= m.Engine.Metrics.cache_lookups)
+
+let test_constraint_pruning () =
+  (* a decode that rejects any encoding mentioning node 13 *)
+  let workdir = fresh_workdir () in
+  let decode (enc : E.t) =
+    let rec bad = function
+      | [] -> false
+      | E.Interval { last = 13; _ } :: _ -> true
+      | _ :: tl -> bad tl
+    in
+    if bad enc then Smt.Formula.False else Smt.Formula.True
+  in
+  let t =
+    AEngine.create
+      ~config:{ (Engine.default_config ~workdir) with Engine.target_partitions = 1 }
+      ~decode ~workdir ()
+  in
+  let iv last = [ E.Interval { meth = 0; first = 0; last } ] in
+  AEngine.add_seed t ~src:0 ~dst:1 ~label:Pg.New ~enc:(iv 0);
+  AEngine.add_seed t ~src:1 ~dst:2 ~label:Pg.Assign ~enc:(iv 5);
+  AEngine.add_seed t ~src:1 ~dst:3 ~label:Pg.Assign ~enc:(iv 13);
+  AEngine.run t;
+  let reaches dst =
+    AEngine.fold_edges t
+      (fun acc e ->
+        acc
+        || (Pg.equal e.AEngine.label Pg.Flows_to && e.AEngine.src = 0
+            && e.AEngine.dst = dst))
+      false
+  in
+  Alcotest.(check bool) "feasible branch kept" true (reaches 2);
+  Alcotest.(check bool) "infeasible branch pruned" false (reaches 3)
+
+let test_encodings_per_key_cap () =
+  let workdir = fresh_workdir () in
+  let config =
+    { (Engine.default_config ~workdir) with
+      Engine.target_partitions = 1;
+      max_encodings_per_key = 1 }
+  in
+  let t = AEngine.create ~config ~decode:true_decode ~workdir () in
+  (* two parallel paths from o to v *)
+  let iv last = [ E.Interval { meth = 0; first = 0; last } ] in
+  AEngine.add_seed t ~src:0 ~dst:1 ~label:Pg.New ~enc:(iv 0);
+  AEngine.add_seed t ~src:1 ~dst:2 ~label:Pg.Assign ~enc:(iv 1);
+  AEngine.add_seed t ~src:1 ~dst:2 ~label:Pg.Assign ~enc:(iv 2);
+  AEngine.run t;
+  let count =
+    AEngine.fold_edges t
+      (fun acc e ->
+        if Pg.equal e.AEngine.label Pg.Flows_to && e.AEngine.dst = 2 then
+          acc + 1
+        else acc)
+      0
+  in
+  Alcotest.(check int) "one witness kept" 1 count
+
+let test_metrics_breakdown_sums_to_100 () =
+  let t = mk_engine () in
+  seed_chain t 8;
+  AEngine.run t;
+  let parts = Engine.Metrics.breakdown (AEngine.metrics t) in
+  let total = List.fold_left (fun a (_, p) -> a +. p) 0. parts in
+  Alcotest.(check bool) "percentages sum to ~100" true
+    (Float.abs (total -. 100.) < 1e-6 || total = 0.)
+
+let test_parallel_solving_same_result () =
+  (* a decode that actually exercises the solver; the symbol is interned
+     up front because decode runs on worker domains *)
+  let x_sym = Smt.Symbol.intern "pe_x" in
+  let decode (enc : E.t) =
+    let x = Smt.Linexpr.var x_sym in
+    match enc with
+    | E.Interval { last; _ } :: _ when last mod 7 = 3 ->
+        (* infeasible constraint for some encodings *)
+        Smt.Formula.and_
+          (Smt.Formula.ge x (Smt.Linexpr.const 1))
+          (Smt.Formula.le x (Smt.Linexpr.const 0))
+    | _ -> Smt.Formula.ge x (Smt.Linexpr.const 0)
+  in
+  let run domains =
+    let workdir = fresh_workdir () in
+    let config =
+      { (Engine.default_config ~workdir) with
+        Engine.target_partitions = 2;
+        solver_domains = domains;
+        cache_enabled = false }
+    in
+    let t = AEngine.create ~config ~decode ~workdir () in
+    AEngine.add_seed t ~src:0 ~dst:1 ~label:Pg.New
+      ~enc:[ E.Interval { meth = 0; first = 0; last = 0 } ];
+    for i = 1 to 20 do
+      AEngine.add_seed t ~src:i ~dst:(i + 1) ~label:Pg.Assign
+        ~enc:[ E.Interval { meth = 0; first = 0; last = i } ]
+    done;
+    AEngine.run t;
+    AEngine.fold_edges t
+      (fun acc e -> (e.AEngine.src, e.AEngine.dst, Pg.to_int e.AEngine.label) :: acc)
+      []
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "parallel solving agrees with sequential" true
+    (run 1 = run 3)
+
+(* reference implementation: naive in-memory closure with the same label
+   logic and no constraints, used to differential-test the disk engine *)
+let reference_closure (seeds : (int * int * Pg.t) list) : (int * int * int) list =
+  let present = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let by_src = Hashtbl.create 64 and by_dst = Hashtbl.create 64 in
+  let push tbl k v =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.replace tbl k (ref [ v ])
+  in
+  let rec add (src, dst, label) =
+    let key = (src, dst, Pg.to_int label) in
+    if not (Hashtbl.mem present key) then begin
+      Hashtbl.replace present key ();
+      push by_src src (dst, label);
+      push by_dst dst (src, label);
+      Queue.add (src, dst, label) queue;
+      List.iter (fun l -> add (src, dst, l)) (Pg.unary label);
+      match Pg.mirror label with
+      | Some l -> add (dst, src, l)
+      | None -> ()
+    end
+  in
+  List.iter add seeds;
+  while not (Queue.is_empty queue) do
+    let src, dst, label = Queue.pop queue in
+    (match Hashtbl.find_opt by_src dst with
+    | Some outs ->
+        List.iter
+          (fun (dst2, l2) ->
+            match Pg.compose label l2 with
+            | Some l3 -> add (src, dst2, l3)
+            | None -> ())
+          !outs
+    | None -> ());
+    (match Hashtbl.find_opt by_dst src with
+    | Some ins ->
+        List.iter
+          (fun (src0, l1) ->
+            match Pg.compose l1 label with
+            | Some l3 -> add (src0, dst, l3)
+            | None -> ())
+          !ins
+    | None -> ())
+  done;
+  Hashtbl.fold (fun k () acc -> k :: acc) present [] |> List.sort compare
+
+let arb_graph =
+  let open QCheck in
+  let edge =
+    Gen.map3
+      (fun src dst kind ->
+        let label =
+          match kind mod 5 with
+          | 0 -> Pg.New
+          | 1 | 2 -> Pg.Assign
+          | 3 -> Pg.Store (kind mod 2)
+          | _ -> Pg.Load (kind mod 2)
+        in
+        (src, dst, label))
+      (Gen.int_bound 8) (Gen.int_bound 8) (Gen.int_bound 20)
+  in
+  make
+    ~print:(fun es ->
+      String.concat ";"
+        (List.map (fun (s, d, l) -> Printf.sprintf "%d-%s->%d" s (Pg.to_string l) d) es))
+    (Gen.list_size (Gen.int_range 1 14) edge)
+
+let prop_engine_matches_reference =
+  QCheck.Test.make ~name:"engine matches in-memory reference closure" ~count:30
+    arb_graph (fun edges ->
+      let workdir = fresh_workdir () in
+      let config =
+        { (Engine.default_config ~workdir) with
+          Engine.target_partitions = 3;
+          max_edges_per_partition = 6;
+          (* one witness per fact and no length cap: every fact keeps a
+             composable encoding, so the closure is complete and bounded by
+             the fact space even on cyclic graphs (unbounded witnesses blow
+             up through Rev fragments) *)
+          max_encodings_per_key = 1;
+          max_path_elements = 0 }
+      in
+      let t = AEngine.create ~config ~decode:true_decode ~workdir () in
+      List.iter
+        (fun (src, dst, label) ->
+          AEngine.add_seed t ~src ~dst ~label
+            ~enc:[ E.Interval { meth = 0; first = 0; last = 0 } ])
+        edges;
+      AEngine.run t;
+      let engine_facts =
+        AEngine.fold_edges t
+          (fun acc e -> (e.AEngine.src, e.AEngine.dst, Pg.to_int e.AEngine.label) :: acc)
+          []
+        |> List.sort_uniq compare
+      in
+      engine_facts = reference_closure edges)
+
+(* property: closure results are independent of the partition budget *)
+let prop_partitioning_invariance =
+  QCheck.Test.make ~name:"closure independent of partitioning" ~count:8
+    QCheck.(pair (int_range 2 12) (int_range 2 24))
+    (fun (parts, budget) ->
+      let t1 = mk_engine () in
+      seed_chain t1 7;
+      AEngine.run t1;
+      let reference = count_label t1 Pg.Flows_to in
+      let workdir = fresh_workdir () in
+      let config =
+        { (Engine.default_config ~workdir) with
+          Engine.target_partitions = parts;
+          max_edges_per_partition = budget }
+      in
+      let t2 = AEngine.create ~config ~decode:true_decode ~workdir () in
+      seed_chain t2 7;
+      AEngine.run t2;
+      count_label t2 Pg.Flows_to = reference)
+
+let suite =
+  [ Alcotest.test_case "lru basic" `Quick test_lru_basic;
+    Alcotest.test_case "lru update" `Quick test_lru_update;
+    Alcotest.test_case "lru order" `Quick test_lru_order;
+    QCheck_alcotest.to_alcotest prop_lru_never_exceeds_capacity;
+    Alcotest.test_case "storage roundtrip" `Quick test_storage_roundtrip;
+    Alcotest.test_case "storage append" `Quick test_storage_append;
+    Alcotest.test_case "storage missing file" `Quick test_storage_missing_file;
+    Alcotest.test_case "closure over a chain" `Quick test_closure_chain;
+    Alcotest.test_case "closure through the heap" `Quick test_closure_store_load;
+    Alcotest.test_case "field mismatch" `Quick test_closure_field_mismatch;
+    Alcotest.test_case "eager repartitioning" `Quick test_repartitioning;
+    Alcotest.test_case "cache counters" `Quick test_cache_counters;
+    Alcotest.test_case "constraint pruning" `Quick test_constraint_pruning;
+    Alcotest.test_case "encodings-per-key cap" `Quick test_encodings_per_key_cap;
+    Alcotest.test_case "breakdown sums to 100" `Quick test_metrics_breakdown_sums_to_100;
+    Alcotest.test_case "parallel solving" `Quick test_parallel_solving_same_result;
+    QCheck_alcotest.to_alcotest prop_engine_matches_reference;
+    QCheck_alcotest.to_alcotest prop_partitioning_invariance ]

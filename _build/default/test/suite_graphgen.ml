@@ -1,0 +1,310 @@
+(* Tests for graph generation: the clone tree (context sensitivity plan),
+   variable versioning, the alias program graph, and the dataflow graph. *)
+
+module Icfet = Symexec.Icfet
+module Clone_tree = Graphgen.Clone_tree
+module Alias_graph = Graphgen.Alias_graph
+module Dataflow_graph = Graphgen.Dataflow_graph
+module Varver = Graphgen.Varver
+module Pg = Cfl.Pointer_grammar
+
+let prepare src =
+  let p = Jir.Unroll.unroll_program ~bound:2 (Jir.Resolve.parse_exn src) in
+  let icfet = Icfet.build p in
+  let cg = Jir.Callgraph.build p in
+  let clones = Clone_tree.build icfet cg in
+  (p, icfet, cg, clones)
+
+(* ---------------- clone tree ---------------- *)
+
+let diamond = {|
+class Leaf {
+  void work(int x) { return; }
+}
+class Mid {
+  void m1(int x) { Leaf.work(x); return; }
+  void m2(int x) { Leaf.work(x); return; }
+}
+class Main {
+  void main(int x) {
+    Mid.m1(x);
+    Mid.m2(x);
+    return;
+  }
+}
+entry Main.main;
+|}
+
+let test_clone_tree_diamond () =
+  let _, _, _, clones = prepare diamond in
+  (* main, m1, m2, and TWO clones of Leaf.work *)
+  Alcotest.(check int) "five instances" 5 (Clone_tree.n_instances clones);
+  Alcotest.(check int) "one entry" 1
+    (List.length clones.Clone_tree.entry_instances)
+
+let test_clone_tree_contexts () =
+  let _, icfet, _, clones = prepare diamond in
+  let work_instances =
+    Array.to_list clones.Clone_tree.instances
+    |> List.filter (fun (i : Clone_tree.instance) ->
+           Jir.Ast.meth_id (Icfet.cfet icfet i.Clone_tree.meth).Symexec.Cfet.meth
+           = "Leaf.work")
+  in
+  Alcotest.(check int) "two clones of Leaf.work" 2 (List.length work_instances);
+  (* their context chains differ *)
+  let chains =
+    List.map
+      (fun (i : Clone_tree.instance) ->
+        Clone_tree.context_chain clones i.Clone_tree.inst_id)
+      work_instances
+  in
+  Alcotest.(check bool) "distinct contexts" true
+    (List.length (List.sort_uniq compare chains) = 2)
+
+let recursive = {|
+class R {
+  void even(int n) {
+    if (n > 0) {
+      R.odd(n - 1);
+    }
+    return;
+  }
+  void odd(int n) {
+    if (n > 0) {
+      R.even(n - 1);
+    }
+    return;
+  }
+}
+class Main {
+  void main(int n) { R.even(n); return; }
+}
+entry Main.main;
+|}
+
+let test_clone_tree_recursion_shared () =
+  let _, _, _, clones = prepare recursive in
+  (* main + one shared group for {even, odd}: 3 instances, finite *)
+  Alcotest.(check int) "three instances" 3 (Clone_tree.n_instances clones)
+
+let test_clone_tree_cap () =
+  let p, icfet, cg, _ = prepare diamond in
+  ignore p;
+  Alcotest.(check bool) "cap enforced" true
+    (try
+       ignore (Clone_tree.build ~max_instances:2 icfet cg);
+       false
+     with Clone_tree.Too_many_instances _ -> true)
+
+(* ---------------- variable versioning ---------------- *)
+
+let test_varver_kills () =
+  let src = {|
+class C {
+  void m(int p) {
+    FileWriter w = new FileWriter();
+    w.close();
+    w = new FileWriter();
+    w.write(p);
+    return;
+  }
+}
+entry C.m;
+|} in
+  let _, icfet, _, _ = prepare src in
+  let c = Option.get (Icfet.cfet_of_meth icfet "C.m") in
+  let node = Symexec.Cfet.node c 0 in
+  let vv = Varver.analyze node.Symexec.Cfet.stmts in
+  let sids =
+    List.filter_map
+      (fun (s : Jir.Ast.stmt) ->
+        match s.Jir.Ast.kind with
+        | Jir.Ast.Expr c -> Some (s.Jir.Ast.sid, c.Jir.Ast.mname)
+        | _ -> None)
+      node.Symexec.Cfet.stmts
+  in
+  (match sids with
+  | [ (close_sid, "close"); (write_sid, "write") ] ->
+      Alcotest.(check int) "close sees version 1" 1
+        (Varver.use vv ~sid:close_sid ~var:"w");
+      Alcotest.(check int) "write sees version 2" 2
+        (Varver.use vv ~sid:write_sid ~var:"w")
+  | _ -> Alcotest.fail "unexpected events");
+  Alcotest.(check int) "final version" 2 (Varver.last vv ~var:"w");
+  Alcotest.(check bool) "no entry use of w" false
+    (Varver.is_entry_use vv ~var:"w");
+  Alcotest.(check bool) "p read at entry" true (Varver.is_entry_use vv ~var:"p")
+
+(* ---------------- alias graph ---------------- *)
+
+let test_alias_graph_figure5b () =
+  (* the paper's Figure 5b example: the alias graph has the object vertex,
+     new/assign edges within block 2, and artificial edges threading
+     out/o into the deeper blocks *)
+  let src = {|
+class Main {
+  void main(int a) {
+    FileWriter out = null;
+    FileWriter o = null;
+    int x = a;
+    int y = x;
+    if (x >= 0) {
+      out = new FileWriter();
+      o = out;
+      y = y - 1;
+    } else {
+      y = y + 1;
+    }
+    if (y > 0) {
+      out.write(x);
+      o.close();
+    }
+    return;
+  }
+}
+entry Main.main;
+|} in
+  let _, icfet, _, clones = prepare src in
+  let ag = Alias_graph.build icfet clones in
+  Alcotest.(check int) "one object" 1 (List.length (Alias_graph.objects ag));
+  let new_edges = ref 0 and artificial = ref [] in
+  Alias_graph.iter_edges ag (fun e ->
+      (match e.Alias_graph.label with
+      | Pg.New -> incr new_edges
+      | _ -> ());
+      match (e.Alias_graph.label, e.Alias_graph.enc) with
+      | Pg.Assign, [ Pathenc.Encoding.Interval { first; last; _ } ]
+        when first <> last ->
+          artificial := (first, last) :: !artificial
+      | _ -> ());
+  Alcotest.(check int) "one new edge" 1 !new_edges;
+  (* out is threaded from block 2 into blocks 5 and 6 (the then-branch of
+     the second conditional duplicated under both first-branch outcomes) *)
+  Alcotest.(check bool) "artificial edges exist" true (!artificial <> [])
+
+let test_alias_graph_interprocedural_edges () =
+  let src = {|
+class H {
+  FileWriter make(int n) {
+    FileWriter w = new FileWriter();
+    return w;
+  }
+}
+class Main {
+  void main(int n) {
+    H h = new H();
+    FileWriter f = h.make(n);
+    f.close();
+    return;
+  }
+}
+entry Main.main;
+|} in
+  let _, icfet, _, clones = prepare src in
+  let ag = Alias_graph.build icfet clones in
+  let param_edges = ref 0 and ret_edges = ref 0 in
+  Alias_graph.iter_edges ag (fun e ->
+      match e.Alias_graph.enc with
+      | [ Pathenc.Encoding.Call _ ] -> incr param_edges
+      | [ Pathenc.Encoding.Ret _ ] -> incr ret_edges
+      | _ -> ());
+  (* receiver-this edge + (no var args) for make; value-return edge for f *)
+  Alcotest.(check bool) "param edges" true (!param_edges >= 1);
+  Alcotest.(check int) "one return edge" 1 !ret_edges
+
+let test_alias_graph_edge_cap () =
+  let _, icfet, _, clones = prepare diamond in
+  Alcotest.(check bool) "cap enforced" true
+    (try ignore (Alias_graph.build ~max_edges:1 icfet clones); false
+     with Alias_graph.Too_many_edges _ -> true)
+
+(* ---------------- dataflow graph ---------------- *)
+
+let run_alias_engine icfet ag =
+  let workdir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "grapple-test-dfg-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  let module AE = Engine.Make (Cfl.Pointer_grammar) in
+  let t =
+    AE.create
+      ~config:{ (Engine.default_config ~workdir) with Engine.target_partitions = 2 }
+      ~decode:(Icfet.constraint_of icfet) ~workdir ()
+  in
+  Alias_graph.iter_edges ag (fun e ->
+      AE.add_seed t ~src:e.Alias_graph.src ~dst:e.Alias_graph.dst
+        ~label:e.Alias_graph.label ~enc:e.Alias_graph.enc);
+  AE.run t;
+  let flows : Dataflow_graph.flows = Hashtbl.create 64 in
+  AE.iter_result_edges t (fun e ->
+      match (e.AE.label, Alias_graph.info ag e.AE.src) with
+      | Pg.Flows_to, Alias_graph.Obj_vertex _ ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt flows e.AE.src) in
+          Hashtbl.replace flows e.AE.src ((e.AE.dst, e.AE.enc) :: cur)
+      | _ -> ());
+  flows
+
+let test_dataflow_graph_structure () =
+  let src = {|
+class Main {
+  void main(int a) {
+    FileWriter w = new FileWriter();
+    if (a > 0) {
+      w.close();
+    }
+    return;
+  }
+}
+entry Main.main;
+|} in
+  let _, icfet, _, clones = prepare src in
+  let ag = Alias_graph.build icfet clones in
+  let flows = run_alias_engine icfet ag in
+  let fsm = Checkers.Specs.io_fsm () in
+  let dg = Dataflow_graph.build icfet clones ag flows fsm in
+  Alcotest.(check int) "one tracked object" 1
+    (List.length (Dataflow_graph.tracked dg));
+  Alcotest.(check bool) "seeds exist" true (Dataflow_graph.n_seeds dg > 0);
+  (* exactly one Track seed *)
+  let track_seeds =
+    List.filter
+      (fun (s : Dataflow_graph.seed) ->
+        match s.Dataflow_graph.label with
+        | Cfl.Dataflow_grammar.Track _ -> true
+        | Cfl.Dataflow_grammar.Step _ -> false)
+      (Dataflow_graph.seeds dg)
+  in
+  Alcotest.(check int) "one track seed" 1 (List.length track_seeds)
+
+let test_dataflow_untracked_class_ignored () =
+  let src = {|
+class Main {
+  void main(int a) {
+    Widget w = new Widget();
+    w.spin(a);
+    return;
+  }
+}
+entry Main.main;
+|} in
+  let _, icfet, _, clones = prepare src in
+  let ag = Alias_graph.build icfet clones in
+  let flows = run_alias_engine icfet ag in
+  let dg = Dataflow_graph.build icfet clones ag flows (Checkers.Specs.io_fsm ()) in
+  Alcotest.(check int) "nothing tracked" 0
+    (List.length (Dataflow_graph.tracked dg));
+  Alcotest.(check int) "no seeds" 0 (Dataflow_graph.n_seeds dg)
+
+let suite =
+  [ Alcotest.test_case "clone tree diamond" `Quick test_clone_tree_diamond;
+    Alcotest.test_case "clone tree contexts" `Quick test_clone_tree_contexts;
+    Alcotest.test_case "recursion shares clones" `Quick test_clone_tree_recursion_shared;
+    Alcotest.test_case "clone tree cap" `Quick test_clone_tree_cap;
+    Alcotest.test_case "variable versioning kills" `Quick test_varver_kills;
+    Alcotest.test_case "alias graph figure 5b" `Quick test_alias_graph_figure5b;
+    Alcotest.test_case "alias graph interprocedural" `Quick
+      test_alias_graph_interprocedural_edges;
+    Alcotest.test_case "alias graph edge cap" `Quick test_alias_graph_edge_cap;
+    Alcotest.test_case "dataflow graph structure" `Quick test_dataflow_graph_structure;
+    Alcotest.test_case "dataflow ignores untracked" `Quick
+      test_dataflow_untracked_class_ignored ]

@@ -1,0 +1,305 @@
+(* Tests for the JIR frontend: lexer, parser, resolver, pretty-printer
+   round-trips, loop unrolling, and the call graph / SCC machinery. *)
+
+let parse = Jir.Resolve.parse_exn
+
+let simple_program = {|
+class Util {
+  int double_(int n) {
+    int r = n * 2;
+    return r;
+  }
+}
+class Main {
+  void main(int a) {
+    int b = Util.double_(a);
+    if (b > 10) {
+      b = b - 1;
+    } else {
+      b = b + 1;
+    }
+    return;
+  }
+}
+entry Main.main;
+|}
+
+let test_parse_simple () =
+  let p = parse simple_program in
+  Alcotest.(check int) "two classes" 2 (List.length p.Jir.Ast.classes);
+  Alcotest.(check int) "one entry" 1 (List.length p.Jir.Ast.entries);
+  Alcotest.(check bool) "finds Util.double_" true
+    (Jir.Ast.find_method p ~cls:"Util" ~meth:"double_" <> None)
+
+let test_parse_statements () =
+  let src = {|
+class C {
+  void m(int p) {
+    FileWriter w = new FileWriter();
+    C other = null;
+    w.write(p + 1);
+    other.field = w;
+    FileWriter u = other.field;
+    u.close();
+    int x = 3 * p - 2;
+    while (x > 0) {
+      x = x - 1;
+    }
+    try {
+      throw new Boom();
+    } catch (Boom b) {
+      x = 0;
+    }
+    return;
+  }
+}
+entry C.m;
+|} in
+  let p = parse src in
+  let m = Option.get (Jir.Ast.find_method p ~cls:"C" ~meth:"m") in
+  Alcotest.(check int) "statement count" 13 (Jir.Ast.block_size m.Jir.Ast.body)
+
+let test_parse_static_vs_instance () =
+  let src = {|
+class Svc {
+  void op(int k) {
+    return;
+  }
+}
+class Main {
+  void main(int a) {
+    Svc s = new Svc();
+    s.op(a);
+    Svc.op(a);
+    return;
+  }
+}
+entry Main.main;
+|} in
+  let p = parse src in
+  let m = Option.get (Jir.Ast.find_method p ~cls:"Main" ~meth:"main") in
+  let calls =
+    List.filter_map
+      (fun (s : Jir.Ast.stmt) ->
+        match s.Jir.Ast.kind with Jir.Ast.Expr c -> Some c | _ -> None)
+      m.Jir.Ast.body
+  in
+  match calls with
+  | [ inst; static ] ->
+      Alcotest.(check bool) "instance has receiver" true
+        (inst.Jir.Ast.recv = Some "s");
+      Alcotest.(check string) "instance resolved to Svc" "Svc"
+        inst.Jir.Ast.target_class;
+      Alcotest.(check bool) "static has no receiver" true
+        (static.Jir.Ast.recv = None);
+      Alcotest.(check string) "static class" "Svc" static.Jir.Ast.target_class
+  | _ -> Alcotest.fail "expected two call statements"
+
+let test_parse_errors () =
+  let bad = "class C { void m() { int x = ; } }" in
+  Alcotest.check_raises "parse error"
+    (Jir.Parser.Parse_error ("expected expression (got ';')", 1))
+    (fun () -> ignore (Jir.Parser.parse bad))
+
+let test_resolve_errors () =
+  let src = {|
+class C {
+  void m(int p) {
+    C c = new C();
+    c.nosuch(p);
+    return;
+  }
+}
+|} in
+  let _, errs = Jir.Resolve.run (Jir.Parser.parse src) in
+  Alcotest.(check int) "one error" 1 (List.length errs);
+  Alcotest.(check bool) "mentions nosuch" true
+    (String.length (Jir.Resolve.error_to_string (List.hd errs)) > 0)
+
+let test_library_classes_allowed () =
+  let src = {|
+class C {
+  void m(int p) {
+    FileWriter w = new FileWriter();
+    w.write(p);
+    w.close();
+    return;
+  }
+}
+entry C.m;
+|} in
+  let _, errs = Jir.Resolve.run (Jir.Parser.parse src) in
+  Alcotest.(check int) "library calls are fine" 0 (List.length errs)
+
+let test_pp_roundtrip () =
+  let p = parse simple_program in
+  let text = Jir.Pp.program_to_string p in
+  let p2 = parse text in
+  let text2 = Jir.Pp.program_to_string p2 in
+  Alcotest.(check string) "pp . parse . pp fixpoint" text text2
+
+let test_unroll_removes_loops () =
+  let src = {|
+class C {
+  void m(int p) {
+    int i = 0;
+    while (i < p) {
+      i = i + 1;
+      while (i < 3) {
+        i = i + 2;
+      }
+    }
+    return;
+  }
+}
+entry C.m;
+|} in
+  let p = parse src in
+  Alcotest.(check bool) "has loops before" false (Jir.Unroll.is_loop_free p);
+  let u = Jir.Unroll.unroll_program ~bound:2 p in
+  Alcotest.(check bool) "loop free after" true (Jir.Unroll.is_loop_free u)
+
+let test_unroll_size_growth () =
+  let src = {|
+class C {
+  void m(int p) {
+    int i = 0;
+    while (i < p) {
+      i = i + 1;
+    }
+    return;
+  }
+}
+entry C.m;
+|} in
+  let p = parse src in
+  let u1 = Jir.Unroll.unroll_program ~bound:1 p in
+  let u3 = Jir.Unroll.unroll_program ~bound:3 p in
+  Alcotest.(check bool) "more copies with higher bound" true
+    (Jir.Ast.program_size u3 > Jir.Ast.program_size u1)
+
+let test_unroll_fresh_sids () =
+  let src = {|
+class C {
+  void m(int p) {
+    while (p > 0) {
+      p = p - 1;
+    }
+    return;
+  }
+}
+entry C.m;
+|} in
+  let u = Jir.Unroll.unroll_program ~bound:3 (parse src) in
+  let sids = ref [] in
+  let rec collect (b : Jir.Ast.block) =
+    List.iter
+      (fun (s : Jir.Ast.stmt) ->
+        sids := s.Jir.Ast.sid :: !sids;
+        match s.Jir.Ast.kind with
+        | Jir.Ast.If (_, t, f) -> collect t; collect f
+        | Jir.Ast.While (_, b) -> collect b
+        | Jir.Ast.Try (b, cs) ->
+            collect b;
+            List.iter (fun c -> collect c.Jir.Ast.handler) cs
+        | _ -> ())
+      b
+  in
+  List.iter (fun m -> collect m.Jir.Ast.body) (Jir.Ast.all_methods u);
+  let unique = List.sort_uniq compare !sids in
+  Alcotest.(check int) "statement ids unique after unrolling"
+    (List.length !sids) (List.length unique)
+
+(* ---------------- call graph and SCC ---------------- *)
+
+let callgraph_program = {|
+class A {
+  void a1(int x) { B.b1(x); return; }
+  void a2(int x) { A.a1(x); B.b2(x); return; }
+}
+class B {
+  void b1(int x) { B.b2(x); return; }
+  void b2(int x) { B.b1(x); return; }
+}
+class Main {
+  void main(int x) { A.a2(x); return; }
+}
+entry Main.main;
+|}
+
+let test_callgraph_edges () =
+  let p = parse callgraph_program in
+  let cg = Jir.Callgraph.build p in
+  Alcotest.(check (list string)) "a2 calls" [ "A.a1"; "B.b2" ]
+    (Jir.Callgraph.callees cg "A.a2");
+  Alcotest.(check (list string)) "b1 callers" [ "B.b2"; "A.a1" ]
+    (List.sort compare (Jir.Callgraph.callers cg "B.b1")
+     |> List.sort (fun a b -> compare b a))
+
+let test_scc_detection () =
+  let p = parse callgraph_program in
+  let cg = Jir.Callgraph.build p in
+  let scc = Jir.Callgraph.tarjan cg in
+  let comp m = Hashtbl.find scc.Jir.Callgraph.component_of m in
+  Alcotest.(check bool) "b1 and b2 share a component" true
+    (comp "B.b1" = comp "B.b2");
+  Alcotest.(check bool) "a1 is alone" true (comp "A.a1" <> comp "B.b1");
+  Alcotest.(check bool) "b1 recursive" true
+    (Jir.Callgraph.is_recursive cg scc "B.b1");
+  Alcotest.(check bool) "a1 not recursive" false
+    (Jir.Callgraph.is_recursive cg scc "A.a1")
+
+let test_reverse_topological () =
+  let p = parse callgraph_program in
+  let cg = Jir.Callgraph.build p in
+  let order = Jir.Callgraph.reverse_topological cg in
+  let pos m =
+    let rec go i = function
+      | [] -> Alcotest.fail (m ^ " missing from order")
+      | x :: _ when x = m -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "callees before callers: b1 before a1" true
+    (pos "B.b1" < pos "A.a1");
+  Alcotest.(check bool) "a1 before a2" true (pos "A.a1" < pos "A.a2");
+  Alcotest.(check bool) "a2 before main" true (pos "A.a2" < pos "Main.main")
+
+(* round-trip property over generated subjects *)
+let prop_generator_roundtrip =
+  QCheck.Test.make ~name:"generated subjects parse back" ~count:4
+    QCheck.(make (Gen.int_range 1 1000))
+    (fun seed ->
+      let subj =
+        Workload.Generator.generate
+          { Workload.Generator.name = Printf.sprintf "prop%d" seed;
+            description = "roundtrip";
+            seed;
+            layers = 2;
+            classes_per_layer = 1;
+            methods_per_class = 2;
+            patterns_per_method = 2;
+            calls_per_method = 1;
+            bugs = [ ("io", 1) ];
+            loops_per_subject = 1 }
+      in
+      let text = Jir.Pp.program_to_string subj.Workload.Generator.program in
+      let p2 = parse text in
+      Jir.Pp.program_to_string p2 = text)
+
+let suite =
+  [ Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse statements" `Quick test_parse_statements;
+    Alcotest.test_case "static vs instance calls" `Quick test_parse_static_vs_instance;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "resolve errors" `Quick test_resolve_errors;
+    Alcotest.test_case "library classes allowed" `Quick test_library_classes_allowed;
+    Alcotest.test_case "pretty-print round trip" `Quick test_pp_roundtrip;
+    Alcotest.test_case "unroll removes loops" `Quick test_unroll_removes_loops;
+    Alcotest.test_case "unroll size growth" `Quick test_unroll_size_growth;
+    Alcotest.test_case "unroll fresh sids" `Quick test_unroll_fresh_sids;
+    Alcotest.test_case "callgraph edges" `Quick test_callgraph_edges;
+    Alcotest.test_case "scc detection" `Quick test_scc_detection;
+    Alcotest.test_case "reverse topological order" `Quick test_reverse_topological;
+    QCheck_alcotest.to_alcotest prop_generator_roundtrip ]

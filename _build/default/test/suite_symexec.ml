@@ -1,0 +1,290 @@
+(* Tests for symbolic execution: CFET construction (structure, Eytzinger
+   numbering, exceptions, events), ICFET call edges, and path-constraint
+   decoding (Algorithm 1). *)
+
+module Cfet = Symexec.Cfet
+module Icfet = Symexec.Icfet
+module Solver = Smt.Solver
+module E = Pathenc.Encoding
+
+let parse src =
+  Jir.Unroll.unroll_program ~bound:2 (Jir.Resolve.parse_exn src)
+
+let figure3b = {|
+class Main {
+  void main(int a) {
+    FileWriter out = null;
+    FileWriter o = null;
+    int x = a;
+    int y = x;
+    if (x >= 0) {
+      out = new FileWriter();
+      o = out;
+      y = y - 1;
+    } else {
+      y = y + 1;
+    }
+    if (y > 0) {
+      out.write(x);
+      o.close();
+    }
+    return;
+  }
+}
+entry Main.main;
+|}
+
+let cfet_of src meth =
+  let p = parse src in
+  let icfet = Icfet.build p in
+  (icfet, Option.get (Icfet.cfet_of_meth icfet meth))
+
+let test_figure5a_structure () =
+  (* the paper's Figure 5a: 7 nodes, root 0, children 1/2, grandchildren
+     3/4/5/6 *)
+  let _, c = cfet_of figure3b "Main.main" in
+  Alcotest.(check int) "7 nodes" 7 c.Cfet.node_count;
+  Alcotest.(check int) "depth 2" 2 c.Cfet.depth;
+  let ids = List.sort compare (Hashtbl.fold (fun k _ l -> k :: l) c.Cfet.nodes []) in
+  Alcotest.(check (list int)) "eytzinger ids" [ 0; 1; 2; 3; 4; 5; 6 ] ids;
+  let root = Cfet.node c 0 in
+  Alcotest.(check (option int)) "true child" (Some 2) root.Cfet.t_child;
+  Alcotest.(check (option int)) "false child" (Some 1) root.Cfet.f_child;
+  Alcotest.(check int) "4 leaves" 4 (List.length c.Cfet.leaves)
+
+let test_parent_arithmetic () =
+  Alcotest.(check int) "parent of 6" 2 (Cfet.parent_id 6);
+  Alcotest.(check int) "parent of 5" 2 (Cfet.parent_id 5);
+  Alcotest.(check int) "parent of 2" 0 (Cfet.parent_id 2);
+  Alcotest.(check int) "parent of 1" 0 (Cfet.parent_id 1);
+  Alcotest.(check bool) "6 is a true child" true (Cfet.is_true_child 6);
+  Alcotest.(check bool) "5 is a false child" false (Cfet.is_true_child 5)
+
+let test_path_constraints_feasibility () =
+  let icfet, c = cfet_of figure3b "Main.main" in
+  ignore icfet;
+  let feasible first last =
+    match Solver.check (Cfet.path_constraint c ~first ~last) with
+    | Solver.Sat | Solver.Unknown -> true
+    | Solver.Unsat -> false
+  in
+  (* node 6 = both conditionals true: x >= 0 and x - 1 > 0: feasible *)
+  Alcotest.(check bool) "path to 6 feasible" true (feasible 0 6);
+  (* node 4 = x < 0 and x + 1 > 0: infeasible over the integers *)
+  Alcotest.(check bool) "path to 4 infeasible (the paper's third path)" false
+    (feasible 0 4);
+  Alcotest.(check bool) "path to 5 feasible" true (feasible 0 5);
+  Alcotest.(check bool) "path to 3 feasible" true (feasible 0 3)
+
+let test_path_constraint_invalid_interval () =
+  let _, c = cfet_of figure3b "Main.main" in
+  Alcotest.(check bool) "non-ancestor raises" true
+    (try ignore (Cfet.path_constraint c ~first:1 ~last:6); false
+     with Invalid_argument _ -> true)
+
+let test_throw_into_handler_same_node () =
+  (* a throw with a matching catch does not split the node *)
+  let src = {|
+class C {
+  void m(int p) {
+    int before = p;
+    try {
+      throw new Boom();
+    } catch (Boom b) {
+      before = 0;
+    }
+    return;
+  }
+}
+entry C.m;
+|} in
+  let _, c = cfet_of src "C.m" in
+  Alcotest.(check int) "single node" 1 c.Cfet.node_count;
+  match (Cfet.node c 0).Cfet.exit with
+  | Some (Cfet.Normal _) -> ()
+  | _ -> Alcotest.fail "expected a normal leaf"
+
+let test_uncaught_throw_exceptional_leaf () =
+  let src = {|
+class C {
+  void m(int p) {
+    if (p > 0) {
+      throw new Boom();
+    }
+    return;
+  }
+}
+entry C.m;
+|} in
+  let _, c = cfet_of src "C.m" in
+  let exceptional =
+    List.filter
+      (fun id ->
+        match (Cfet.node c id).Cfet.exit with
+        | Some (Cfet.Exceptional "Boom") -> true
+        | _ -> false)
+      c.Cfet.leaves
+  in
+  Alcotest.(check int) "one exceptional leaf" 1 (List.length exceptional)
+
+let test_may_throw_divergence () =
+  (* a call to a method declaring `throws` splits the node; the true child
+     holds the call, the false child routes to the handler *)
+  let src = {|
+class Risky {
+  void boom(int p) throws Err {
+    if (p > 0) {
+      throw new Err();
+    }
+    return;
+  }
+}
+class C {
+  void m(int p) {
+    try {
+      Risky.boom(p);
+      int after = 1;
+    } catch (Err e) {
+      int handled = 1;
+    }
+    return;
+  }
+}
+entry C.m;
+|} in
+  let icfet, c = cfet_of src "C.m" in
+  Alcotest.(check int) "divergence creates three nodes" 3 c.Cfet.node_count;
+  let t_child = Cfet.node c 2 in
+  Alcotest.(check int) "call heads the true child" 1
+    (List.length t_child.Cfet.calls);
+  let ci = List.hd t_child.Cfet.calls in
+  Alcotest.(check bool) "call diverges" true ci.Cfet.diverges;
+  Alcotest.(check string) "callee" "Risky.boom" ci.Cfet.callee_id;
+  (* the ICFET records one call edge for the site *)
+  Alcotest.(check int) "one call edge" 1 (Icfet.n_call_edges icfet)
+
+let test_return_value_recorded () =
+  let src = {|
+class C {
+  int f(int p) {
+    return p + 1;
+  }
+  void m(int p) {
+    int r = C.f(p);
+    return;
+  }
+}
+entry C.m;
+|} in
+  let icfet, cf = cfet_of src "C.f" in
+  (match (Cfet.node cf 0).Cfet.exit with
+  | Some (Cfet.Normal (Some _)) -> ()
+  | _ -> Alcotest.fail "expected recorded return value");
+  (* the call edge carries the parameter equation p_f = p_m *)
+  let ce = Icfet.call_edge icfet 0 in
+  Alcotest.(check int) "one param equation" 1
+    (List.length ce.Icfet.param_equations)
+
+let test_loop_must_be_unrolled () =
+  let p = Jir.Resolve.parse_exn {|
+class C {
+  void m(int p) {
+    while (p > 0) {
+      p = p - 1;
+    }
+    return;
+  }
+}
+entry C.m;
+|} in
+  Alcotest.(check bool) "refuses loops" true
+    (try ignore (Icfet.build p); false with Invalid_argument _ -> true)
+
+let test_interprocedural_decode () =
+  (* the §3.2 example: foo calls bar, the composed constraint includes the
+     parameter-passing equation *)
+  let src = {|
+class C {
+  int bar(int a) {
+    if (a < 0) {
+      return a + 1;
+    }
+    return a - 1;
+  }
+  void foo(int x) {
+    int y = x + 1;
+    if (x > 0) {
+      y = C.bar(2 * x);
+    }
+    if (y < 0) {
+      int dead = 1;
+    }
+    return;
+  }
+}
+entry C.foo;
+|} in
+  let p = parse src in
+  let icfet = Icfet.build p in
+  let foo = Option.get (Icfet.cfet_of_meth icfet "C.foo") in
+  let bar = Option.get (Icfet.cfet_of_meth icfet "C.bar") in
+  (* x > 0, call bar(2x): 2x < 0 inside bar is infeasible *)
+  let call_id = 0 in
+  let ce = Icfet.call_edge icfet call_id in
+  Alcotest.(check int) "call in foo" foo.Cfet.meth_idx ce.Icfet.caller_meth;
+  let enc =
+    [ E.Interval { meth = foo.Cfet.meth_idx; first = 0; last = ce.Icfet.caller_node };
+      E.Call call_id;
+      E.Interval { meth = bar.Cfet.meth_idx; first = 0; last = 2 } ]
+  in
+  (* bar node 2 is the true child (a < 0) *)
+  let f = Icfet.constraint_of icfet enc in
+  Alcotest.(check bool) "x>0 & a=2x & a<0 unsat" true
+    (Solver.check f = Solver.Unsat);
+  let enc_ok =
+    [ E.Interval { meth = foo.Cfet.meth_idx; first = 0; last = ce.Icfet.caller_node };
+      E.Call call_id;
+      E.Interval { meth = bar.Cfet.meth_idx; first = 0; last = 1 } ]
+  in
+  Alcotest.(check bool) "x>0 & a=2x & a>=0 sat" true
+    (Solver.check (Icfet.constraint_of icfet enc_ok) <> Solver.Unsat)
+
+let test_trace_recovery () =
+  let p = parse figure3b in
+  let icfet = Icfet.build p in
+  let main = Option.get (Icfet.cfet_of_meth icfet "Main.main") in
+  let enc =
+    [ E.Interval { meth = main.Cfet.meth_idx; first = 0; last = 6 } ]
+  in
+  let trace = Icfet.trace_of icfet enc in
+  (* nodes 0 -> 2 -> 6: three trace entries, all in Main.main *)
+  Alcotest.(check int) "three steps" 3 (List.length trace);
+  List.iter
+    (fun step ->
+      Alcotest.(check bool) "names the method" true
+        (String.length step > 9 && String.sub step 0 9 = "Main.main"))
+    trace;
+  (* node ids along the path *)
+  Alcotest.(check (list (pair int int))) "node sequence"
+    [ (main.Cfet.meth_idx, 0); (main.Cfet.meth_idx, 2); (main.Cfet.meth_idx, 6) ]
+    (Icfet.nodes_of icfet enc)
+
+let test_icfet_statistics () =
+  let p = parse figure3b in
+  let icfet = Icfet.build p in
+  Alcotest.(check int) "one method" 1 (Icfet.n_methods icfet);
+  Alcotest.(check int) "seven nodes" 7 (Icfet.total_nodes icfet)
+
+let suite =
+  [ Alcotest.test_case "figure 5a structure" `Quick test_figure5a_structure;
+    Alcotest.test_case "parent arithmetic" `Quick test_parent_arithmetic;
+    Alcotest.test_case "path feasibility" `Quick test_path_constraints_feasibility;
+    Alcotest.test_case "invalid interval" `Quick test_path_constraint_invalid_interval;
+    Alcotest.test_case "throw into handler" `Quick test_throw_into_handler_same_node;
+    Alcotest.test_case "uncaught throw" `Quick test_uncaught_throw_exceptional_leaf;
+    Alcotest.test_case "may-throw divergence" `Quick test_may_throw_divergence;
+    Alcotest.test_case "return value recorded" `Quick test_return_value_recorded;
+    Alcotest.test_case "loops rejected" `Quick test_loop_must_be_unrolled;
+    Alcotest.test_case "interprocedural decode" `Quick test_interprocedural_decode;
+    Alcotest.test_case "trace recovery" `Quick test_trace_recovery;
+    Alcotest.test_case "icfet statistics" `Quick test_icfet_statistics ]

@@ -1,0 +1,167 @@
+(* Tests for the workload generator and the ground-truth scoring. *)
+
+let small_profile ?(bugs = [ ("io", 2); ("exception", 2) ]) ?(seed = 42) () =
+  { Workload.Generator.name = "testsubj";
+    description = "test subject";
+    seed;
+    layers = 2;
+    classes_per_layer = 2;
+    methods_per_class = 2;
+    patterns_per_method = 2;
+    calls_per_method = 1;
+    bugs;
+    loops_per_subject = 1 }
+
+let test_generation_deterministic () =
+  let s1 = Workload.Generator.generate (small_profile ()) in
+  let s2 = Workload.Generator.generate (small_profile ()) in
+  Alcotest.(check string) "same program"
+    (Jir.Pp.program_to_string s1.Workload.Generator.program)
+    (Jir.Pp.program_to_string s2.Workload.Generator.program);
+  Alcotest.(check int) "same expectations"
+    (List.length s1.Workload.Generator.expected)
+    (List.length s2.Workload.Generator.expected)
+
+let test_generation_seed_matters () =
+  let s1 = Workload.Generator.generate (small_profile ~seed:1 ()) in
+  let s2 = Workload.Generator.generate (small_profile ~seed:2 ()) in
+  Alcotest.(check bool) "different programs" true
+    (Jir.Pp.program_to_string s1.Workload.Generator.program
+     <> Jir.Pp.program_to_string s2.Workload.Generator.program)
+
+let test_bug_quota_planted () =
+  let s = Workload.Generator.generate (small_profile ()) in
+  let count checker =
+    List.length
+      (List.filter
+         (fun e -> e.Workload.Patterns.exp_checker = checker)
+         s.Workload.Generator.expected)
+  in
+  Alcotest.(check int) "io bugs" 2 (count "io");
+  Alcotest.(check int) "exception bugs" 2 (count "exception");
+  Alcotest.(check int) "no lock bugs" 0 (count "lock")
+
+let test_generated_program_valid () =
+  let s = Workload.Generator.generate (small_profile ()) in
+  (* resolves cleanly (Builder.resolved would have raised otherwise) and
+     parses back from its pretty-printed form *)
+  let text = Jir.Pp.program_to_string s.Workload.Generator.program in
+  let p = Jir.Resolve.parse_exn text in
+  Alcotest.(check bool) "non-trivial" true (Jir.Ast.program_size p > 50);
+  Alcotest.(check bool) "loc counted" true (s.Workload.Generator.loc > 50)
+
+let test_expectation_lines_unique () =
+  let s = Workload.Generator.generate (small_profile ()) in
+  let lines =
+    List.map (fun e -> e.Workload.Patterns.exp_line) s.Workload.Generator.expected
+  in
+  Alcotest.(check int) "lines unique" (List.length lines)
+    (List.length (List.sort_uniq compare lines))
+
+let test_subject_profiles_exist () =
+  let zk = Workload.Generator.mini_zookeeper () in
+  Alcotest.(check string) "name" "minizk"
+    zk.Workload.Generator.profile.Workload.Generator.name;
+  Alcotest.(check bool) "expectations planted" true
+    (List.length zk.Workload.Generator.expected > 0)
+
+(* ---------------- scoring ---------------- *)
+
+let mk_report ?(checker = "io") ?(line = 5) kind =
+  { Grapple.Report.checker;
+    kind;
+    cls = "FileWriter";
+    alloc_at = { Jir.Ast.file = "t.jir"; line };
+    site = None;
+    context = [];
+    witness = [];
+    trace = [] }
+
+let mk_exp ?(checker = "io") ?(line = 5) kind =
+  { Workload.Patterns.exp_checker = checker; exp_kind = kind; exp_line = line;
+    exp_note = "test" }
+
+let test_scoring_tp () =
+  let s =
+    Workload.Scoring.score ~checker:"io"
+      ~expected:[ mk_exp `Leak ]
+      ~reports:[ mk_report (Grapple.Report.Leak "Open") ]
+  in
+  Alcotest.(check int) "tp" 1 s.Workload.Scoring.tp;
+  Alcotest.(check int) "fp" 0 s.Workload.Scoring.fp;
+  Alcotest.(check int) "fn" 0 s.Workload.Scoring.fn
+
+let test_scoring_fp_wrong_line () =
+  let s =
+    Workload.Scoring.score ~checker:"io"
+      ~expected:[ mk_exp ~line:5 `Leak ]
+      ~reports:[ mk_report ~line:6 (Grapple.Report.Leak "Open") ]
+  in
+  Alcotest.(check int) "fp" 1 s.Workload.Scoring.fp;
+  Alcotest.(check int) "fn" 1 s.Workload.Scoring.fn
+
+let test_scoring_kind_mismatch () =
+  let s =
+    Workload.Scoring.score ~checker:"io"
+      ~expected:[ mk_exp `Error ]
+      ~reports:[ mk_report (Grapple.Report.Leak "Open") ]
+  in
+  Alcotest.(check int) "kind must match" 0 s.Workload.Scoring.tp
+
+let test_scoring_filters_checker () =
+  let s =
+    Workload.Scoring.score ~checker:"io"
+      ~expected:[ mk_exp ~checker:"socket" `Leak ]
+      ~reports:[ mk_report ~checker:"socket" (Grapple.Report.Leak "Open") ]
+  in
+  Alcotest.(check int) "other checker invisible" 0
+    (s.Workload.Scoring.tp + s.Workload.Scoring.fp + s.Workload.Scoring.fn)
+
+let test_scoring_each_expectation_once () =
+  let s =
+    Workload.Scoring.score ~checker:"io"
+      ~expected:[ mk_exp `Leak ]
+      ~reports:
+        [ mk_report (Grapple.Report.Leak "Open");
+          mk_report (Grapple.Report.Leak "Open") ]
+  in
+  Alcotest.(check int) "one tp" 1 s.Workload.Scoring.tp;
+  Alcotest.(check int) "second is fp" 1 s.Workload.Scoring.fp
+
+(* ---------------- rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Workload.Rng.create 7 and b = Workload.Rng.create 7 in
+  let seq r = List.init 20 (fun _ -> Workload.Rng.int r 1000) in
+  Alcotest.(check (list int)) "same stream" (seq a) (seq b)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng respects bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Workload.Rng.create seed in
+      let v = Workload.Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:100
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, l) ->
+      let r = Workload.Rng.create seed in
+      List.sort compare (Workload.Rng.shuffle r l) = List.sort compare l)
+
+let suite =
+  [ Alcotest.test_case "generation deterministic" `Quick test_generation_deterministic;
+    Alcotest.test_case "seed matters" `Quick test_generation_seed_matters;
+    Alcotest.test_case "bug quota planted" `Quick test_bug_quota_planted;
+    Alcotest.test_case "generated program valid" `Quick test_generated_program_valid;
+    Alcotest.test_case "expectation lines unique" `Quick test_expectation_lines_unique;
+    Alcotest.test_case "subject profiles" `Quick test_subject_profiles_exist;
+    Alcotest.test_case "scoring tp" `Quick test_scoring_tp;
+    Alcotest.test_case "scoring wrong line" `Quick test_scoring_fp_wrong_line;
+    Alcotest.test_case "scoring kind mismatch" `Quick test_scoring_kind_mismatch;
+    Alcotest.test_case "scoring filters checker" `Quick test_scoring_filters_checker;
+    Alcotest.test_case "each expectation once" `Quick test_scoring_each_expectation_once;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    QCheck_alcotest.to_alcotest prop_rng_bounds;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation ]

@@ -1,0 +1,15 @@
+(* Test driver: every library has a suite; `dune runtest` runs them all. *)
+
+let () =
+  Alcotest.run "grapple"
+    [ ("smt", Suite_smt.suite);
+      ("jir", Suite_jir.suite);
+      ("encoding", Suite_encoding.suite);
+      ("symexec", Suite_symexec.suite);
+      ("grammar", Suite_grammar.suite);
+      ("engine", Suite_engine.suite);
+      ("fsm", Suite_fsm.suite);
+      ("graphgen", Suite_graphgen.suite);
+      ("pipeline", Suite_pipeline.suite);
+      ("workload", Suite_workload.suite);
+      ("baseline", Suite_baseline.suite) ]
