@@ -409,6 +409,74 @@ let oom () =
 (* Ablations (DESIGN.md): unroll bound and partition budget.            *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Pre-filter side-by-side: the escape-based instance pruning on vs.    *)
+(* off, per subject.  Warnings must be identical; the graphs shrink by  *)
+(* however many tracked allocations were resolved intraprocedurally.    *)
+(* Subjects are seed-fixed, so every column reproduces exactly.         *)
+(* ------------------------------------------------------------------ *)
+
+let prefilter () =
+  header "Pre-filter: escape-resolved instances (on vs off)"
+    "instance pruning ablation";
+  Printf.printf "%-10s %4s %8s %9s %9s %6s %6s %8s %6s\n" "subject" "pf"
+    "|V|" "#E0" "#EA" "#filt" "warns" "time" "same";
+  let fsms =
+    List.filter_map
+      (fun (c : Checkers.t) ->
+        match c.Checkers.kind with
+        | `Typestate fsm -> Some fsm
+        | `Exception_walk -> None)
+      (Checkers.all ())
+  in
+  List.iter
+    (fun (subject : Generator.subject) ->
+      let name = subject.Generator.profile.Generator.name in
+      let run on =
+        let workdir =
+          Filename.concat root_workdir (Printf.sprintf "pf-%s-%b" name on)
+        in
+        let config =
+          { (Pipeline.default_config ~workdir) with
+            Pipeline.library_throwers = Checkers.Specs.library_throwers;
+            prefilter_properties = (if on then fsms else []) }
+        in
+        let t0 = Unix.gettimeofday () in
+        let prepared =
+          Pipeline.prepare ~config ~workdir subject.Generator.program
+        in
+        let results, props = Checkers.run_all prepared (Checkers.all ()) in
+        let dt = Unix.gettimeofday () -. t0 in
+        (Pipeline.stats prepared props, results, dt)
+      in
+      let signature results =
+        List.concat_map
+          (fun (checker, reports) ->
+            List.map
+              (fun (r : Grapple.Report.t) ->
+                ( checker,
+                  Grapple.Report.kind_to_string r.Grapple.Report.kind,
+                  r.Grapple.Report.alloc_at.Jir.Ast.line ))
+              reports)
+          results
+        |> List.sort compare
+      in
+      let s_off, r_off, t_off = run false in
+      let s_on, r_on, t_on = run true in
+      let warns rs =
+        List.fold_left (fun acc (_, l) -> acc + List.length l) 0 rs
+      in
+      let same = signature r_off = signature r_on in
+      let row tag (s : Pipeline.stats) rs dt same_col =
+        Printf.printf "%-10s %4s %8d %9d %9d %6d %6d %8s %6s\n" name tag
+          s.Pipeline.n_vertices s.Pipeline.n_edges_before
+          s.Pipeline.n_edges_after s.Pipeline.n_prefiltered (warns rs)
+          (hms dt) same_col
+      in
+      row "off" s_off r_off t_off "";
+      row "on" s_on r_on t_on (if same then "yes" else "NO!"))
+    (Generator.all_subjects ())
+
 let ablation () =
   header "Ablation: loop unroll bound k (minizk)" "design choice, §3.1";
   Printf.printf "%3s %8s %8s %8s %8s\n" "k" "TP" "FN" "#EA(K)" "time";
@@ -571,7 +639,8 @@ let micro () =
                 { Generator.name = "bench"; description = ""; seed = 1;
                   layers = 2; classes_per_layer = 1; methods_per_class = 2;
                   patterns_per_method = 1; calls_per_method = 1;
-                  bugs = [ ("io", 1) ]; loops_per_subject = 0 })))
+                  bugs = [ ("io", 1) ]; lint_bugs = [];
+                  loops_per_subject = 0 })))
   in
   (* table 2 kernel: FSM typestate run *)
   let fsm = Checkers.Specs.io_fsm () in
@@ -662,6 +731,7 @@ let () =
       ("table5", fun () -> table5 ~fast ());
       ("oom", fun () -> oom ());
       ("ablation", fun () -> ablation ());
+      ("prefilter", fun () -> prefilter ());
       ("micro", fun () -> micro ()) ]
   in
   let chosen =

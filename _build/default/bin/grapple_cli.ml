@@ -50,6 +50,16 @@ let unroll_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"print the recovered path of each warning")
 
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"print one JSON report per line (machine-readable)")
+
+let no_prefilter_arg =
+  Arg.(value & flag
+       & info [ "no-prefilter" ]
+           ~doc:"disable the escape-based pre-filter; every tracked \
+                 allocation goes through the engine")
+
 let checker_of_name = function
   | "io" -> Checkers.io ()
   | "lock" -> Checkers.lock ()
@@ -62,50 +72,88 @@ let checker_of_name = function
       exit 2
 
 let check_cmd =
-  let run file checkers unroll trace =
+  let run file checkers unroll trace json no_prefilter =
     let program = load file in
     if program.Jir.Ast.entries = [] then
       prerr_endline
         "warning: no `entry Class.method;` declaration -- nothing will be \
          analyzed";
     let names = String.split_on_char ',' checkers in
+    let cs = List.map checker_of_name names in
+    let prefilter_properties =
+      List.filter_map
+        (fun (c : Checkers.t) ->
+          match c.Checkers.kind with
+          | `Typestate fsm -> Some fsm
+          | `Exception_walk -> None)
+        cs
+    in
     with_workdir (fun workdir ->
         let config =
           { (Grapple.Pipeline.default_config ~workdir) with
             Grapple.Pipeline.unroll_bound = unroll;
             library_throwers = Checkers.Specs.library_throwers;
-            track_null = List.mem "null" names }
+            track_null = List.mem "null" names;
+            prefilter = not no_prefilter;
+            prefilter_properties }
         in
         let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
-        let cs = List.map checker_of_name names in
         let results, props = Checkers.run_all prepared cs in
         let total = ref 0 in
         List.iter
           (fun (name, reports) ->
-            Printf.printf "== checker %s: %d warning(s)\n" name
-              (List.length reports);
-            List.iter
-              (fun r ->
-                if trace then
-                  Fmt.pr "  %a@." Grapple.Report.pp_with_trace r
-                else Printf.printf "  %s\n" (Grapple.Report.to_string r))
-              reports;
+            if json then
+              List.iter
+                (fun r -> print_endline (Grapple.Report.to_json r))
+                reports
+            else begin
+              Printf.printf "== checker %s: %d warning(s)\n" name
+                (List.length reports);
+              List.iter
+                (fun r ->
+                  if trace then
+                    Fmt.pr "  %a@." Grapple.Report.pp_with_trace r
+                  else Printf.printf "  %s\n" (Grapple.Report.to_string r))
+                reports
+            end;
             total := !total + List.length reports)
           results;
         let stats = Grapple.Pipeline.stats prepared props in
-        Printf.printf
+        let summary = if json then Printf.eprintf else Printf.printf in
+        summary
           "\n%d warning(s); |V|=%d |E|before=%d |E|after=%d partitions=%d \
-           iterations=%d constraints=%d cache=%d/%d\n"
+           iterations=%d constraints=%d cache=%d/%d prefiltered=%d\n"
           !total stats.Grapple.Pipeline.n_vertices
           stats.Grapple.Pipeline.n_edges_before
           stats.Grapple.Pipeline.n_edges_after
           stats.Grapple.Pipeline.n_partitions
           stats.Grapple.Pipeline.n_iterations
           stats.Grapple.Pipeline.n_constraints_solved
-          stats.Grapple.Pipeline.cache_hits stats.Grapple.Pipeline.cache_lookups)
+          stats.Grapple.Pipeline.cache_hits stats.Grapple.Pipeline.cache_lookups
+          stats.Grapple.Pipeline.n_prefiltered)
   in
   Cmd.v (Cmd.info "check" ~doc:"run property checkers on a JIR file")
-    Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ trace_arg)
+    Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ trace_arg
+          $ json_arg $ no_prefilter_arg)
+
+let lint_cmd =
+  let run file json =
+    let program = load file in
+    let diags = Analysis.Lint.check_program program in
+    List.iter
+      (fun d ->
+        if json then print_endline (Analysis.Lint.to_json d)
+        else print_endline (Analysis.Lint.to_string d))
+      diags;
+    if not json then
+      Printf.printf "%d lint diagnostic(s)\n" (List.length diags);
+    if diags <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"run the dataflow lint analyses (use-before-init, null-deref, \
+             dead-branch, unreachable) on a JIR file")
+    Term.(const run $ file_arg $ json_arg)
 
 let cfet_cmd =
   let run file unroll =
@@ -210,4 +258,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "grapple" ~doc:"static finite-state property checking")
-          [ check_cmd; cfet_cmd; graph_cmd; closure_cmd ]))
+          [ check_cmd; lint_cmd; cfet_cmd; graph_cmd; closure_cmd ]))

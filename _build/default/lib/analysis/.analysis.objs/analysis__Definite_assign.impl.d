@@ -1,0 +1,1 @@
+lib/analysis/definite_assign.ml: Array Cfg Dataflow Jir List Set String

@@ -1,0 +1,1 @@
+lib/analysis/escape.ml: Jir List Smt Symexec

@@ -1,0 +1,1 @@
+lib/analysis/lint.ml: Buffer Cfg Char Definite_assign Fmt Jir List Nullness Printf String Unreachable

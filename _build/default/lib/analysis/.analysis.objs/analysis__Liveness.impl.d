@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Cfg Dataflow List Set String

@@ -1,0 +1,1 @@
+lib/analysis/nullness.ml: Array Cfg Dataflow Jir List Map Option String

@@ -1,0 +1,1 @@
+lib/analysis/reaching_defs.ml: Array Cfg Dataflow Jir List Set

@@ -1,0 +1,1 @@
+lib/analysis/unreachable.ml: Array Cfg Dataflow Jir List Map Smt String Symexec

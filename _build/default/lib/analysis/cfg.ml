@@ -1,0 +1,211 @@
+(* Per-method control-flow graph over the structured JIR AST.
+
+   The heavyweight phase-1/2 analyses never need a CFG: they symbolically
+   execute the (unrolled) method into a CFET.  The lint analyses in this
+   library do: classic dataflow problems (liveness, reaching definitions,
+   definite assignment, nullness) are join-over-paths fixpoints, and a CFG
+   with loops kept intact lets them run on the *pre-unroll* program so
+   diagnostics cite original source lines.
+
+   Nodes are atomic statements, branch heads (carrying their condition),
+   catch binders, and three synthetic nodes: [Entry], [Exit] (normal
+   return / fall-through) and [Exit_exn] (uncaught exception).  Edges are
+   labelled:
+
+   - [Seq]   ordinary fall-through
+   - [True]/[False]  the two sides of a branch head
+   - [Exc]   exceptional transfer from a call into an enclosing handler;
+             dataflow solvers propagate the *in*-state of the source over
+             these edges, because the exception may fire before the call's
+             own effect (e.g. its assignment) has happened. *)
+
+type edge_kind = Seq | True | False | Exc
+
+type node_kind =
+  | Entry
+  | Exit                                   (* normal termination *)
+  | Exit_exn                               (* uncaught exception *)
+  | Stmt of Jir.Ast.stmt                   (* atomic statement *)
+  | Branch of Jir.Ast.stmt * Jir.Ast.cond  (* If/While head *)
+  | Bind of Jir.Ast.stmt * string * Jir.Ast.var
+      (* catch binder: owning Try stmt, exception class, bound variable *)
+
+type t = {
+  meth : Jir.Ast.meth;
+  kinds : node_kind array;
+  succs : (int * edge_kind) list array;  (* successor, edge kind *)
+  preds : (int * edge_kind) list array;  (* predecessor, edge kind *)
+  entry : int;
+  exit_ : int;
+  exit_exn : int;
+}
+
+let n_nodes (g : t) = Array.length g.kinds
+
+let pos_of_node (g : t) n =
+  match g.kinds.(n) with
+  | Stmt s | Branch (s, _) | Bind (s, _, _) -> Some s.Jir.Ast.at
+  | Entry | Exit | Exit_exn -> None
+
+(* ---------------- def/use per node ---------------- *)
+
+let rhs_uses (r : Jir.Ast.rhs) =
+  match r with
+  | Jir.Ast.Rnew (_, args) -> List.concat_map Jir.Ast.expr_vars args
+  | Jir.Ast.Rload (y, _) -> [ y ]
+  | Jir.Ast.Rcall c ->
+      (match c.Jir.Ast.recv with Some v -> [ v ] | None -> [])
+      @ List.concat_map Jir.Ast.expr_vars c.Jir.Ast.args
+  | Jir.Ast.Rexpr e -> Jir.Ast.expr_vars e
+  | Jir.Ast.Rnull -> []
+
+let defs (k : node_kind) : Jir.Ast.var list =
+  match k with
+  | Stmt { kind = Jir.Ast.Decl (_, v, Some _); _ }
+  | Stmt { kind = Jir.Ast.Assign (v, _); _ } ->
+      [ v ]
+  | Bind (_, _, v) -> [ v ]
+  | _ -> []
+
+let uses (k : node_kind) : Jir.Ast.var list =
+  match k with
+  | Stmt { kind = Jir.Ast.Decl (_, _, Some r); _ }
+  | Stmt { kind = Jir.Ast.Assign (_, r); _ } ->
+      rhs_uses r
+  | Stmt { kind = Jir.Ast.Store (x, _, y); _ } -> [ x; y ]
+  | Stmt { kind = Jir.Ast.Expr c; _ } ->
+      (match c.Jir.Ast.recv with Some v -> [ v ] | None -> [])
+      @ List.concat_map Jir.Ast.expr_vars c.Jir.Ast.args
+  | Stmt { kind = Jir.Ast.Return (Some e); _ } -> Jir.Ast.expr_vars e
+  | Branch (_, c) -> Jir.Ast.cond_vars c
+  | _ -> []
+
+(* Does this node contain a call (which may raise through an enclosing
+   handler)?  Constructors of undefined classes are treated as non-throwing,
+   like everywhere else in the frontend. *)
+let node_call (k : node_kind) : Jir.Ast.call option =
+  match k with
+  | Stmt { kind = Jir.Ast.Expr c; _ }
+  | Stmt { kind = Jir.Ast.Decl (_, _, Some (Jir.Ast.Rcall c)); _ }
+  | Stmt { kind = Jir.Ast.Assign (_, Jir.Ast.Rcall c); _ } ->
+      Some c
+  | _ -> None
+
+(* ---------------- construction ---------------- *)
+
+let build (m : Jir.Ast.meth) : t =
+  let kinds = ref [] and n = ref 0 in
+  let new_node k =
+    kinds := k :: !kinds;
+    let id = !n in
+    incr n;
+    id
+  in
+  let entry = new_node Entry in
+  let exit_ = new_node Exit in
+  let exit_exn = new_node Exit_exn in
+  let edges = ref [] in
+  let add_edge src dst kind = edges := (src, dst, kind) :: !edges in
+  let connect frontier dst =
+    List.iter (fun (src, kind) -> add_edge src dst kind) frontier
+  in
+  (* [go block frontier handlers] threads the pending in-edges [frontier]
+     through [block]; [handlers] is the stack of enclosing catch clauses,
+     innermost first, each as (exception class, binder node). *)
+  let rec go (b : Jir.Ast.block) frontier handlers =
+    List.fold_left (fun frontier s -> stmt s frontier handlers) frontier b
+  and stmt (s : Jir.Ast.stmt) frontier handlers =
+    match s.Jir.Ast.kind with
+    | Jir.Ast.Decl _ | Jir.Ast.Assign _ | Jir.Ast.Store _ | Jir.Ast.Expr _ ->
+        let node = new_node (Stmt s) in
+        connect frontier node;
+        (match node_call (Stmt s) with
+        | Some _ ->
+            (* a call may raise into any enclosing handler; the exception
+               class is unknown statically, so every handler is a target *)
+            List.iter (fun (_, bind) -> add_edge node bind Exc) handlers
+        | None -> ());
+        [ (node, Seq) ]
+    | Jir.Ast.Return _ ->
+        let node = new_node (Stmt s) in
+        connect frontier node;
+        add_edge node exit_ Seq;
+        []
+    | Jir.Ast.Throw thrown ->
+        let node = new_node (Stmt s) in
+        connect frontier node;
+        let rec target = function
+          | [] -> exit_exn
+          | (cls, bind) :: tl ->
+              if cls = thrown || cls = "Exception" then bind else target tl
+        in
+        add_edge node (target handlers) Seq;
+        []
+    | Jir.Ast.If (c, t, f) ->
+        let node = new_node (Branch (s, c)) in
+        connect frontier node;
+        let tf = go t [ (node, True) ] handlers in
+        let ff = go f [ (node, False) ] handlers in
+        tf @ ff
+    | Jir.Ast.While (c, body) ->
+        let node = new_node (Branch (s, c)) in
+        connect frontier node;
+        let back = go body [ (node, True) ] handlers in
+        connect back node;  (* loop back edge *)
+        [ (node, False) ]
+    | Jir.Ast.Try (b, catches) ->
+        let binders =
+          List.map
+            (fun (c : Jir.Ast.catch) ->
+              (c.Jir.Ast.exn_class,
+               new_node (Bind (s, c.Jir.Ast.exn_class, c.Jir.Ast.exn_var))))
+            catches
+        in
+        let bf = go b frontier (binders @ handlers) in
+        let hf =
+          List.concat_map
+            (fun ((c : Jir.Ast.catch), (_, bind)) ->
+              go c.Jir.Ast.handler [ (bind, Seq) ] handlers)
+            (List.combine catches binders)
+        in
+        bf @ hf
+  in
+  let final = go m.Jir.Ast.body [ (entry, Seq) ] [] in
+  connect final exit_;
+  let kinds = Array.of_list (List.rev !kinds) in
+  let succs = Array.make (Array.length kinds) [] in
+  let preds = Array.make (Array.length kinds) [] in
+  List.iter
+    (fun (src, dst, kind) ->
+      succs.(src) <- (dst, kind) :: succs.(src);
+      preds.(dst) <- (src, kind) :: preds.(dst))
+    !edges;
+  { meth = m; kinds; succs; preds; entry; exit_; exit_exn }
+
+(* Nodes reachable from entry; [follow] filters outgoing edges (used by the
+   unreachable-code lint to prune statically-decided branch sides). *)
+let reachable ?(follow = fun _ _ -> true) (g : t) : bool array =
+  let seen = Array.make (n_nodes g) false in
+  let rec dfs n =
+    if not seen.(n) then begin
+      seen.(n) <- true;
+      List.iter
+        (fun (dst, kind) -> if follow n kind then dfs dst)
+        g.succs.(n)
+    end
+  in
+  dfs g.entry;
+  seen
+
+(* Variables declared in this method (including parameters), for lints that
+   only reason about method-local names. *)
+let declared_vars (g : t) : Jir.Ast.var list =
+  let acc = ref (List.map snd g.meth.Jir.Ast.params) in
+  Array.iter
+    (fun k ->
+      match k with
+      | Stmt { kind = Jir.Ast.Decl (_, v, _); _ } -> acc := v :: !acc
+      | Bind (_, _, v) -> acc := v :: !acc
+      | _ -> ())
+    g.kinds;
+  List.sort_uniq compare !acc

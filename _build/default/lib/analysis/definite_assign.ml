@@ -1,0 +1,59 @@
+(* Definite assignment (Java-style "might not have been initialized"): a
+   forward must-analysis whose state is the set of variables assigned on
+   *every* path from entry.  [All] is the must-lattice top and doubles as
+   the solver's [bottom] (identity of intersection), so unreachable
+   predecessors never weaken the state. *)
+
+module VS = Set.Make (String)
+
+module Domain = struct
+  type t = All | Only of VS.t
+
+  let bottom = All
+  let init (g : Cfg.t) = Only (VS.of_list (List.map snd g.Cfg.meth.Jir.Ast.params))
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Only x, Only y -> VS.equal x y
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Only x, Only y -> Only (VS.inter x y)
+
+  let transfer (g : Cfg.t) node state =
+    match Cfg.defs g.Cfg.kinds.(node) with
+    | [] -> state
+    | ds -> (
+        match state with
+        | All -> All
+        | Only s -> Only (List.fold_left (fun acc v -> VS.add v acc) s ds))
+end
+
+module Solver = Dataflow.Forward (Domain)
+
+type result = Domain.t Dataflow.result
+
+let analyze (g : Cfg.t) : result = Solver.solve g
+
+(* Uses of a method-declared variable at a reachable node where it is not
+   definitely assigned: (variable, node) pairs, deduplicated. *)
+let violations (g : Cfg.t) : (Jir.Ast.var * int) list =
+  let r = analyze g in
+  let declared = VS.of_list (Cfg.declared_vars g) in
+  let reach = Cfg.reachable g in
+  let out = ref [] in
+  for node = 0 to Cfg.n_nodes g - 1 do
+    if reach.(node) then
+      match r.Dataflow.input.(node) with
+      | Domain.All -> ()
+      | Domain.Only assigned ->
+          List.iter
+            (fun v ->
+              if VS.mem v declared && not (VS.mem v assigned) then
+                out := (v, node) :: !out)
+            (Cfg.uses g.Cfg.kinds.(node))
+  done;
+  List.sort_uniq compare !out

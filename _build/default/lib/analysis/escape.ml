@@ -1,0 +1,232 @@
+(* Escape/relevance pre-filter for FSM-tracked allocations (ISSUE 1).
+
+   The phase-1/2 closures dominate pipeline cost, and they are only needed
+   for objects whose typestate genuinely depends on aliasing or on
+   interprocedural flow.  An allocation whose reference provably never
+   escapes its method — never stored to a field, never passed as a call
+   argument, never returned, never aliased into another local — has a
+   typestate determined entirely by the instance calls on that one variable
+   inside that one method.  For such allocations we enumerate the method's
+   (loop-free, post-unroll) paths once, collect the event sequence and the
+   path condition of each, and let the pipeline run the FSM directly over
+   those sequences instead of shipping the object into the alias and
+   dataflow graphs.
+
+   Qualification is deliberately strict; anything the quick syntactic
+   argument cannot justify stays on the engine path:
+
+   - the enclosing method contains no [While] (callers unroll first) and no
+     [Try]/[Throw], so the local path structure is exactly the If-tree.
+     Library calls that may throw are fine: with no handler in the method,
+     the exceptional side of the CFET's may-throw divergence is a leaf that
+     never reaches a normal exit (the engine reports leaks at normal exits
+     only) and observes the event on the non-throwing side only, so the
+     normal-path projection the enumerator walks sees exactly the event
+     sequences the engine would;
+   - the variable has exactly one definition: the candidate [Rnew];
+   - the variable never occurs in an expression, as a call argument, as a
+     store source or target, as a load base, in a return, or as the
+     receiver of a call to a *defined* method (receivers of library calls
+     are the FSM events and are allowed);
+   - the method's path count stays under a small cap.
+
+   Path conditions reuse the CFET's symbolic vocabulary ([Symexec.Symenv])
+   so feasibility decisions agree with the engine: an infeasible local path
+   is discarded by the same SMT check the closure would have applied. *)
+
+module Symenv = Symexec.Symenv
+module Linexpr = Smt.Linexpr
+module Formula = Smt.Formula
+
+type path = {
+  events : (string * Jir.Ast.stmt) list;  (* event name, statement, in order *)
+  cond : Formula.t;                       (* conjunction of branch constraints *)
+}
+
+type resolved = {
+  meth_id : string;
+  cls : string;
+  sid : int;              (* allocation statement id (post-unroll) *)
+  var : Jir.Ast.var;
+  at : Jir.Ast.pos;
+  paths : path list;      (* every complete local path through the alloc *)
+}
+
+let max_paths = 512
+
+(* ---------------- qualification ---------------- *)
+
+let rec block_stmts (b : Jir.Ast.block) : Jir.Ast.stmt list =
+  List.concat_map
+    (fun (s : Jir.Ast.stmt) ->
+      s
+      ::
+      (match s.Jir.Ast.kind with
+      | Jir.Ast.If (_, t, f) -> block_stmts t @ block_stmts f
+      | Jir.Ast.While (_, b) -> block_stmts b
+      | Jir.Ast.Try (b, cs) ->
+          block_stmts b
+          @ List.concat_map (fun c -> block_stmts c.Jir.Ast.handler) cs
+      | _ -> []))
+    b
+
+(* The method shape the path enumerator understands: straight-line code and
+   If-trees, with no handlers and no local throws. *)
+let method_qualifies (m : Jir.Ast.meth) =
+  List.for_all
+    (fun (s : Jir.Ast.stmt) ->
+      match s.Jir.Ast.kind with
+      | Jir.Ast.While _ | Jir.Ast.Try _ | Jir.Ast.Throw _ -> false
+      | _ -> true)
+    (block_stmts m.Jir.Ast.body)
+
+let expr_mentions v e = List.mem v (Jir.Ast.expr_vars e)
+let cond_mentions v c = List.mem v (Jir.Ast.cond_vars c)
+
+(* Would [s] let the reference in [v] escape (or alias) beyond the events
+   the enumerator sees?  [defined] answers whether a call target is a
+   program method. *)
+let stmt_disqualifies ~defined v (s : Jir.Ast.stmt) =
+  let call_bad (c : Jir.Ast.call) =
+    List.exists (expr_mentions v) c.Jir.Ast.args
+    || (c.Jir.Ast.recv = Some v
+        && defined ~cls:c.Jir.Ast.target_class ~meth:c.Jir.Ast.mname)
+  in
+  let rhs_bad (r : Jir.Ast.rhs) =
+    match r with
+    | Jir.Ast.Rnew (_, args) -> List.exists (expr_mentions v) args
+    | Jir.Ast.Rload (y, _) -> y = v
+    | Jir.Ast.Rcall c -> call_bad c
+    | Jir.Ast.Rexpr e -> expr_mentions v e
+    | Jir.Ast.Rnull -> false
+  in
+  match s.Jir.Ast.kind with
+  | Jir.Ast.Decl (_, _, Some r) | Jir.Ast.Assign (_, r) -> rhs_bad r
+  | Jir.Ast.Store (x, _, y) -> x = v || y = v
+  | Jir.Ast.Expr c -> call_bad c
+  | Jir.Ast.Return (Some e) -> expr_mentions v e
+  | Jir.Ast.If (c, _, _) | Jir.Ast.While (c, _) -> cond_mentions v c
+  | _ -> false
+
+let defs_of v (s : Jir.Ast.stmt) =
+  match s.Jir.Ast.kind with
+  | Jir.Ast.Decl (_, x, Some _) | Jir.Ast.Assign (x, _) -> x = v
+  | _ -> false
+
+(* ---------------- path enumeration ---------------- *)
+
+exception Too_many_paths
+
+type state = {
+  env : Symenv.t;
+  conds : Formula.t list;
+  seen : bool;                            (* past the allocation *)
+  events : (string * Jir.Ast.stmt) list;  (* reverse order *)
+}
+
+(* Enumerate every complete path of [m], mirroring the env updates of
+   [Cfet.build] so branch constraints match the engine's.  Only paths that
+   execute the allocation [sid] are returned. *)
+let enumerate ~defined ~meth_id ~alloc_sid ~var (m : Jir.Ast.meth) :
+    path list =
+  let out = ref [] and count = ref 0 in
+  let finish (st : state) =
+    incr count;
+    if !count > max_paths then raise Too_many_paths;
+    if st.seen then
+      out :=
+        { events = List.rev st.events;
+          cond =
+            List.fold_left (fun acc f -> Formula.and_ acc f) Formula.True
+              (List.rev st.conds) }
+        :: !out
+  in
+  let event (c : Jir.Ast.call) st s =
+    match c.Jir.Ast.recv with
+    | Some r
+      when r = var && st.seen
+           && not
+                (defined ~cls:c.Jir.Ast.target_class ~meth:c.Jir.Ast.mname) ->
+        { st with events = (c.Jir.Ast.mname, s) :: st.events }
+    | _ -> st
+  in
+  let rec block b st k =
+    match b with
+    | [] -> k st
+    | s :: tl -> stmt s st (fun st -> block tl st k)
+  and stmt (s : Jir.Ast.stmt) st k =
+    let unknown x =
+      Linexpr.var (Symenv.unknown_symbol ~meth_id x ~sid:s.Jir.Ast.sid)
+    in
+    match s.Jir.Ast.kind with
+    | Jir.Ast.Store _ | Jir.Ast.Decl (_, _, None) -> k st
+    | Jir.Ast.Decl (_, x, Some r) | Jir.Ast.Assign (x, r) -> (
+        match r with
+        | Jir.Ast.Rexpr e ->
+            k { st with env = Symenv.bind st.env x (Symenv.eval st.env ~meth_id e) }
+        | Jir.Ast.Rnull -> k st
+        | Jir.Ast.Rload _ -> k { st with env = Symenv.bind st.env x (unknown x) }
+        | Jir.Ast.Rnew _ ->
+            let st =
+              if s.Jir.Ast.sid = alloc_sid then { st with seen = true } else st
+            in
+            k { st with env = Symenv.bind st.env x (unknown x) }
+        | Jir.Ast.Rcall c ->
+            let st = event c st s in
+            k { st with env = Symenv.bind st.env x (unknown x) })
+    | Jir.Ast.Expr c -> k (event c st s)
+    | Jir.Ast.Return _ -> finish st
+    | Jir.Ast.If (c, t, f) ->
+        let ct = Symenv.eval_cond st.env ~meth_id c in
+        block t { st with conds = ct :: st.conds } k;
+        block f { st with conds = Formula.not_ ct :: st.conds } k
+    | Jir.Ast.While _ | Jir.Ast.Try _ | Jir.Ast.Throw _ ->
+        (* ruled out by [method_qualifies] *)
+        assert false
+  in
+  (try
+     block m.Jir.Ast.body
+       { env = Symenv.init_for_method m; conds = []; seen = false; events = [] }
+       finish
+   with Too_many_paths -> out := []);
+  !out
+
+(* ---------------- driver ---------------- *)
+
+(* [analyze ~tracked program] over the *unrolled* program: every allocation
+   of a tracked class that provably stays local to its method, with its
+   per-path event sequences and path conditions. *)
+let analyze ~tracked (program : Jir.Ast.program) : resolved list =
+  let defined ~cls ~meth = Jir.Ast.find_method program ~cls ~meth <> None in
+  Jir.Ast.all_methods program
+  |> List.concat_map (fun (m : Jir.Ast.meth) ->
+         if not (method_qualifies m) then []
+         else
+           let meth_id = Jir.Ast.meth_id m in
+           let stmts = block_stmts m.Jir.Ast.body in
+           stmts
+           |> List.filter_map (fun (s : Jir.Ast.stmt) ->
+                  match s.Jir.Ast.kind with
+                  | Jir.Ast.Decl (_, v, Some (Jir.Ast.Rnew (cls, _)))
+                    when tracked cls ->
+                      let n_defs =
+                        List.length (List.filter (defs_of v) stmts)
+                      in
+                      if
+                        n_defs = 1
+                        && not
+                             (List.exists
+                                (stmt_disqualifies ~defined v)
+                                stmts)
+                      then
+                        match
+                          enumerate ~defined ~meth_id ~alloc_sid:s.Jir.Ast.sid
+                            ~var:v m
+                        with
+                        | [] -> None  (* blown path cap or alloc never runs *)
+                        | paths ->
+                            Some
+                              { meth_id; cls; sid = s.Jir.Ast.sid; var = v;
+                                at = s.Jir.Ast.at; paths }
+                      else None
+                  | _ -> None))

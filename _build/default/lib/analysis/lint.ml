@@ -1,0 +1,90 @@
+(* Lint diagnostics over the client dataflow analyses.
+
+   Runs on the *resolved, pre-unroll* program so every diagnostic cites an
+   original source position.  Each lint is named by a stable slug used by
+   the CLI, the JSON output, and the workload scorer. *)
+
+type diag = {
+  lint : string;          (* "use-before-init" | "null-deref" | ... *)
+  meth : string;          (* qualified method id *)
+  at : Jir.Ast.pos;
+  message : string;
+}
+
+let lint_names =
+  [ "use-before-init"; "null-deref"; "dead-branch"; "unreachable" ]
+
+let diag lint meth at message = { lint; meth; at; message }
+
+let check_method (m : Jir.Ast.meth) : diag list =
+  let g = Cfg.build m in
+  let id = Jir.Ast.meth_id m in
+  let out = ref [] in
+  let emit lint node message =
+    match Cfg.pos_of_node g node with
+    | Some at -> out := diag lint id at message :: !out
+    | None -> ()
+  in
+  List.iter
+    (fun (v, node) ->
+      emit "use-before-init" node
+        (Printf.sprintf "variable '%s' may be used before it is assigned" v))
+    (Definite_assign.violations g);
+  List.iter
+    (fun (v, node) ->
+      emit "null-deref" node
+        (Printf.sprintf "variable '%s' is definitely null when dereferenced" v))
+    (Nullness.violations g);
+  List.iter
+    (fun (b : Unreachable.branch_verdict) ->
+      if b.Unreachable.dead_nonempty then
+        emit "dead-branch" b.Unreachable.node
+          (Printf.sprintf "condition is always %b; the %s branch is dead"
+             b.Unreachable.always
+             (if b.Unreachable.always then "false" else "true")))
+    (Unreachable.decided_branches g);
+  List.iter
+    (fun node -> emit "unreachable" node "statement is unreachable")
+    (Unreachable.unreachable_nodes g);
+  (* one diagnostic per (lint, line): unrolled copies or multi-var nodes
+     should not spam *)
+  !out
+  |> List.sort_uniq (fun a b ->
+         compare
+           (a.lint, a.at.Jir.Ast.file, a.at.Jir.Ast.line, a.message)
+           (b.lint, b.at.Jir.Ast.file, b.at.Jir.Ast.line, b.message))
+
+let check_program (p : Jir.Ast.program) : diag list =
+  Jir.Ast.all_methods p
+  |> List.concat_map check_method
+  |> List.sort (fun a b ->
+         compare
+           (a.at.Jir.Ast.file, a.at.Jir.Ast.line, a.lint, a.meth)
+           (b.at.Jir.Ast.file, b.at.Jir.Ast.line, b.lint, b.meth))
+
+let pp ppf (d : diag) =
+  Fmt.pf ppf "%s:%d: %s: %s [%s]" d.at.Jir.Ast.file d.at.Jir.Ast.line d.lint
+    d.message d.meth
+
+let to_string (d : diag) = Fmt.str "%a" pp d
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (d : diag) =
+  Printf.sprintf
+    {|{"tool":"lint","lint":"%s","method":"%s","file":"%s","line":%d,"message":"%s"}|}
+    (json_escape d.lint) (json_escape d.meth)
+    (json_escape d.at.Jir.Ast.file)
+    d.at.Jir.Ast.line (json_escape d.message)

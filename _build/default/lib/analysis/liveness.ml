@@ -1,0 +1,29 @@
+(* Classic backward liveness: a variable is live at a point if some path
+   from the point reads it before overwriting it. *)
+
+module VS = Set.Make (String)
+
+module Domain = struct
+  type t = VS.t
+
+  let bottom = VS.empty
+  let init (_ : Cfg.t) = VS.empty
+  let equal = VS.equal
+  let join = VS.union
+
+  let transfer (g : Cfg.t) node out_state =
+    let k = g.Cfg.kinds.(node) in
+    let killed =
+      List.fold_left (fun acc v -> VS.remove v acc) out_state (Cfg.defs k)
+    in
+    List.fold_left (fun acc v -> VS.add v acc) killed (Cfg.uses k)
+end
+
+module Solver = Dataflow.Backward (Domain)
+
+type result = Domain.t Dataflow.result
+
+let analyze (g : Cfg.t) : result = Solver.solve g
+
+let live_in (r : result) ~node v = VS.mem v r.Dataflow.input.(node)
+let live_out (r : result) ~node v = VS.mem v r.Dataflow.output.(node)

@@ -1,0 +1,98 @@
+(* Null-pointer lattice: for each variable, is it definitely [null],
+   definitely non-null, or unknown at a program point?  Only *definite*
+   nulls are reported (dereference of a maybe-null value is not an error in
+   this lint, matching the conservative null checker in the pipeline).
+
+   The per-variable lattice is Null < Top > Nonnull; the map domain joins
+   pointwise with missing keys denoting Top, and a distinguished [Unreached]
+   element serves as the solver's bottom. *)
+
+module VM = Map.Make (String)
+
+type value = Null | Nonnull | Top
+
+let join_value a b = if a = b then a else Top
+
+module Domain = struct
+  type t = Unreached | Env of value VM.t
+
+  let bottom = Unreached
+  let init (_ : Cfg.t) = Env VM.empty
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Env x, Env y -> VM.equal ( = ) x y
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Env x, Env y ->
+        Env
+          (VM.merge
+             (fun _ l r ->
+               match (l, r) with
+               | Some l, Some r -> (
+                   match join_value l r with Top -> None | v -> Some v)
+               | _ -> None)  (* missing = Top *)
+             x y)
+
+  let value_of_rhs env (r : Jir.Ast.rhs) =
+    match r with
+    | Jir.Ast.Rnull -> Null
+    | Jir.Ast.Rnew _ -> Nonnull
+    | Jir.Ast.Rexpr (Jir.Ast.Var y) ->
+        Option.value ~default:Top (VM.find_opt y env)
+    | Jir.Ast.Rload _ | Jir.Ast.Rcall _ | Jir.Ast.Rexpr _ -> Top
+
+  let transfer (g : Cfg.t) node state =
+    match state with
+    | Unreached -> Unreached
+    | Env env -> (
+        match g.Cfg.kinds.(node) with
+        | Cfg.Stmt { kind = Jir.Ast.Decl (_, v, Some r); _ }
+        | Cfg.Stmt { kind = Jir.Ast.Assign (v, r); _ } -> (
+            match value_of_rhs env r with
+            | Top -> Env (VM.remove v env)
+            | value -> Env (VM.add v value env))
+        | Cfg.Stmt { kind = Jir.Ast.Decl (_, v, None); _ } ->
+            Env (VM.remove v env)
+        | Cfg.Bind (_, _, v) -> Env (VM.add v Nonnull env)
+        | _ -> Env env)
+end
+
+module Solver = Dataflow.Forward (Domain)
+
+type result = Domain.t Dataflow.result
+
+let analyze (g : Cfg.t) : result = Solver.solve g
+
+(* Variables dereferenced by a node: call receivers, load bases, store
+   bases.  (Static calls have no receiver and dereference nothing.) *)
+let dereferenced (k : Cfg.node_kind) : Jir.Ast.var list =
+  match k with
+  | Cfg.Stmt { kind = Jir.Ast.Expr { recv = Some v; _ }; _ } -> [ v ]
+  | Cfg.Stmt { kind = Jir.Ast.Decl (_, _, Some r); _ }
+  | Cfg.Stmt { kind = Jir.Ast.Assign (_, r); _ } -> (
+      match r with
+      | Jir.Ast.Rcall { recv = Some v; _ } -> [ v ]
+      | Jir.Ast.Rload (y, _) -> [ y ]
+      | _ -> [])
+  | Cfg.Stmt { kind = Jir.Ast.Store (x, _, _); _ } -> [ x ]
+  | _ -> []
+
+(* Dereferences of definitely-null variables at reachable nodes. *)
+let violations (g : Cfg.t) : (Jir.Ast.var * int) list =
+  let r = analyze g in
+  let out = ref [] in
+  for node = 0 to Cfg.n_nodes g - 1 do
+    match r.Dataflow.input.(node) with
+    | Domain.Unreached -> ()
+    | Domain.Env env ->
+        List.iter
+          (fun v ->
+            if VM.find_opt v env = Some Null then out := (v, node) :: !out)
+          (dereferenced g.Cfg.kinds.(node))
+  done;
+  List.sort_uniq compare !out

@@ -1,0 +1,44 @@
+(* Reaching definitions: which (variable, def-node) pairs may reach each
+   program point.  Parameters are modelled as definitions at [Cfg.entry]. *)
+
+module DS = Set.Make (struct
+  type t = Jir.Ast.var * int  (* variable, defining CFG node *)
+
+  let compare = compare
+end)
+
+module Domain = struct
+  type t = DS.t
+
+  let bottom = DS.empty
+
+  let init (g : Cfg.t) =
+    List.fold_left
+      (fun acc (_, p) -> DS.add (p, g.Cfg.entry) acc)
+      DS.empty g.Cfg.meth.Jir.Ast.params
+
+  let equal = DS.equal
+  let join = DS.union
+
+  let transfer (g : Cfg.t) node state =
+    match Cfg.defs g.Cfg.kinds.(node) with
+    | [] -> state
+    | ds ->
+        List.fold_left
+          (fun acc v ->
+            DS.add (v, node) (DS.filter (fun (v', _) -> v' <> v) acc))
+          state ds
+end
+
+module Solver = Dataflow.Forward (Domain)
+
+type result = Domain.t Dataflow.result
+
+let analyze (g : Cfg.t) : result = Solver.solve g
+
+(* Definitions of [v] reaching the entry of [node]. *)
+let reaching (r : result) ~node v : int list =
+  DS.fold
+    (fun (v', d) acc -> if v' = v then d :: acc else acc)
+    r.Dataflow.input.(node) []
+  |> List.sort compare

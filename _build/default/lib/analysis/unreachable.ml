@@ -1,0 +1,187 @@
+(* Branch-decision and unreachable-code detection.
+
+   A forward constant-propagation pass tracks each integer variable as a
+   linear expression over the method's symbolic inputs (the same
+   [Symexec.Symenv] vocabulary the CFET builder uses: parameter symbols,
+   per-statement unknown symbols for call returns and heap loads).  At each
+   reachable branch head the condition is evaluated to a formula and handed
+   to the SMT solver twice — if [not c] is unsatisfiable the branch always
+   takes its true side, if [c] is unsatisfiable it always takes its false
+   side — which subsumes both constant-condition and arithmetically-forced
+   dead branches (e.g. [x = p - p; if (x > 0)]).
+
+   Two kinds of diagnostics fall out:
+   - dead branch sides at decided branch heads (with a non-empty dead block)
+   - structurally unreachable statements (code after return/throw), computed
+     without the solver so the two lints never double-report. *)
+
+module Symenv = Symexec.Symenv
+module Linexpr = Smt.Linexpr
+module Formula = Smt.Formula
+module Solver = Smt.Solver
+module VM = Map.Make (String)
+
+(* A variable's abstract value: a linear expression, or join-damaged
+   ([Varies]).  Missing keys mean "never assigned", which evaluates to the
+   variable's own symbol — the same fallback [Symenv.value_of] uses — so
+   the mapping is stable across fixpoint iterations. *)
+type value = Lin of Linexpr.t | Varies
+
+module Domain = struct
+  type t = Unreached | Env of value VM.t
+
+  let bottom = Unreached
+  let init (_ : Cfg.t) = Env VM.empty
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Env x, Env y -> VM.equal ( = ) x y
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Env x, Env y ->
+        Env
+          (VM.merge
+             (fun _ l r ->
+               match (l, r) with
+               | Some (Lin a), Some (Lin b) when a = b -> Some (Lin a)
+               | None, None -> None
+               | _ -> Some Varies)
+             x y)
+end
+
+let meth_id (g : Cfg.t) = Jir.Ast.meth_id g.Cfg.meth
+
+let lookup env ~meth_id v =
+  match VM.find_opt v env with
+  | Some value -> value
+  | None -> Lin (Linexpr.var (Smt.Symbol.intern (meth_id ^ "::" ^ v)))
+
+let rec eval env ~meth_id (e : Jir.Ast.expr) : value =
+  match e with
+  | Jir.Ast.Const n -> Lin (Linexpr.const n)
+  | Jir.Ast.Var v -> lookup env ~meth_id v
+  | Jir.Ast.Binop (op, a, b) -> (
+      match (eval env ~meth_id a, eval env ~meth_id b) with
+      | Lin va, Lin vb -> (
+          match op with
+          | Jir.Ast.Add -> Lin (Linexpr.add va vb)
+          | Jir.Ast.Sub -> Lin (Linexpr.sub va vb)
+          | Jir.Ast.Mul ->
+              if Linexpr.is_const va then Lin (Linexpr.scale va.Linexpr.const vb)
+              else if Linexpr.is_const vb then
+                Lin (Linexpr.scale vb.Linexpr.const va)
+              else Varies)
+      | _ -> Varies)
+
+module ConstDomain = struct
+  include Domain
+
+  let transfer (g : Cfg.t) node state =
+    match state with
+    | Unreached -> Unreached
+    | Env env -> (
+        let meth_id = meth_id g in
+        let unknown v sid =
+          Lin (Linexpr.var (Symenv.unknown_symbol ~meth_id v ~sid))
+        in
+        match g.Cfg.kinds.(node) with
+        | Cfg.Stmt { sid; kind = Jir.Ast.Decl (_, v, Some r); _ }
+        | Cfg.Stmt { sid; kind = Jir.Ast.Assign (v, r); _ } ->
+            let value =
+              match r with
+              | Jir.Ast.Rexpr e -> eval env ~meth_id e
+              | Jir.Ast.Rload _ | Jir.Ast.Rcall _ -> unknown v sid
+              | Jir.Ast.Rnew _ | Jir.Ast.Rnull -> unknown v sid
+            in
+            Env (VM.add v value env)
+        | Cfg.Stmt { sid; kind = Jir.Ast.Decl (_, v, None); _ } ->
+            Env (VM.add v (unknown v sid) env)
+        | _ -> Env env)
+end
+
+module ConstSolver = Dataflow.Forward (ConstDomain)
+
+(* Decide a branch condition under the abstract environment: [Some true] if
+   it can only be true, [Some false] if only false, [None] otherwise
+   (including when any mentioned variable is join-damaged). *)
+let decide (g : Cfg.t) env (c : Jir.Ast.cond) : bool option =
+  let meth_id = meth_id g in
+  let decidable =
+    List.for_all
+      (fun v -> match lookup env ~meth_id v with Lin _ -> true | Varies -> false)
+      (Jir.Ast.cond_vars c)
+  in
+  if not decidable then None
+  else
+    let assoc =
+      VM.fold
+        (fun v value acc ->
+          match value with Lin le -> (v, le) :: acc | Varies -> acc)
+        env []
+    in
+    let f = Symenv.eval_cond assoc ~meth_id c in
+    match Solver.check f with
+    | Solver.Unsat -> Some false
+    | Solver.Sat | Solver.Unknown -> (
+        match Solver.check (Formula.not_ f) with
+        | Solver.Unsat -> Some true
+        | Solver.Sat | Solver.Unknown -> None)
+
+type branch_verdict = {
+  node : int;
+  stmt : Jir.Ast.stmt;
+  always : bool;  (* the condition's constant truth value *)
+  dead_nonempty : bool;  (* the dead side contains statements *)
+}
+
+(* Branch heads whose condition is statically decided, restricted to nodes
+   reachable when decided branches are pruned along the way (a dead branch
+   inside a dead branch is not re-reported). *)
+let decided_branches (g : Cfg.t) : branch_verdict list =
+  let r = ConstSolver.solve g in
+  let verdicts = Array.make (Cfg.n_nodes g) None in
+  for node = 0 to Cfg.n_nodes g - 1 do
+    match (g.Cfg.kinds.(node), r.Dataflow.input.(node)) with
+    | Cfg.Branch (stmt, c), Domain.Env env -> (
+        match decide g env c with
+        | Some always ->
+            let dead_nonempty =
+              match stmt.Jir.Ast.kind with
+              | Jir.Ast.If (_, t, f) -> (if always then f else t) <> []
+              | Jir.Ast.While (_, b) -> (not always) && b <> []
+              | _ -> false
+            in
+            verdicts.(node) <- Some { node; stmt; always; dead_nonempty }
+        | None -> ())
+    | _ -> ()
+  done;
+  let follow node kind =
+    match (verdicts.(node), kind) with
+    | Some { always = true; _ }, Cfg.False -> false
+    | Some { always = false; _ }, Cfg.True -> false
+    | _ -> true
+  in
+  let reach = Cfg.reachable ~follow g in
+  let out = ref [] in
+  Array.iter
+    (function
+      | Some v when reach.(v.node) -> out := v :: !out
+      | _ -> ())
+    verdicts;
+  List.rev !out
+
+(* Structurally unreachable statement nodes: no path from entry even with
+   every branch side considered feasible (i.e. code after return/throw). *)
+let unreachable_nodes (g : Cfg.t) : int list =
+  let reach = Cfg.reachable g in
+  let out = ref [] in
+  for node = 0 to Cfg.n_nodes g - 1 do
+    (match g.Cfg.kinds.(node) with
+    | Cfg.Stmt _ | Cfg.Branch _ -> if not reach.(node) then out := node :: !out
+    | _ -> ())
+  done;
+  List.rev !out

@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Cfl Engine Filename Fsm Graphgen Hashtbl Jir List Option Pathenc Report Smt String Symexec Unix
+lib/core/pipeline.ml: Analysis Cfl Engine Filename Fsm Graphgen Hashtbl Jir List Option Pathenc Printf Report Smt String Symexec Unix

@@ -1,1 +1,1 @@
-lib/core/report.ml: Fmt Hashtbl Jir List Option Printf
+lib/core/report.ml: Buffer Char Fmt Hashtbl Jir List Option Printf String

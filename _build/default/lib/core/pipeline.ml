@@ -20,6 +20,7 @@ module Transfn = Cfl.Transfn
 
 module Alias_engine = Engine.Make (Cfl.Pointer_grammar)
 module Dataflow_engine = Engine.Make (Cfl.Dataflow_grammar)
+module Escape = Analysis.Escape
 
 type config = {
   workdir : string;
@@ -33,6 +34,12 @@ type config = {
       (* materialize [null] pseudo-allocations in the alias graph so the
          null-dereference checker can track them; off by default because
          the extra sources enlarge the closure for every property *)
+  prefilter : bool;
+      (* resolve provably non-escaping tracked allocations intraprocedurally
+         (Analysis.Escape) and keep them out of the alias/dataflow graphs *)
+  prefilter_properties : Fsm.t list;
+      (* the FSMs whose tracked classes the pre-filter may resolve; empty
+         disables the pre-filter regardless of [prefilter] *)
 }
 
 let default_config ~workdir =
@@ -42,7 +49,9 @@ let default_config ~workdir =
     max_graph_edges = 5_000_000;
     engine = Engine.default_config ~workdir;
     library_throwers = [];
-    track_null = false }
+    track_null = false;
+    prefilter = true;
+    prefilter_properties = [] }
 
 type timing = {
   mutable preprocess_s : float;  (* frontend + graph generation + loading *)
@@ -60,6 +69,8 @@ type prepared = {
   alias_engine : Alias_engine.t;
   flows : Dataflow_graph.flows;
   n_alias_pairs : int;
+  prefiltered : Escape.resolved list;
+      (* tracked allocations resolved locally, excluded from the graphs *)
   timing : timing;
 }
 
@@ -81,18 +92,20 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   let program = timed pre (fun () ->
       Jir.Unroll.unroll_program ~bound:config.unroll_bound program)
   in
+  let may_throw =
+    let base = Cfet.default_config program in
+    let table = Hashtbl.create 16 in
+    List.iter
+      (fun (cls, m, e) -> Hashtbl.replace table (cls, m) e)
+      config.library_throwers;
+    fun (c : Jir.Ast.call) ->
+      match base.Cfet.may_throw c with
+      | Some e -> Some e
+      | None -> Hashtbl.find_opt table (c.Jir.Ast.target_class, c.Jir.Ast.mname)
+  in
   let icfet =
     timed pre (fun () ->
         let base = Cfet.default_config program in
-        let table = Hashtbl.create 16 in
-        List.iter
-          (fun (cls, m, e) -> Hashtbl.replace table (cls, m) e)
-          config.library_throwers;
-        let may_throw (c : Jir.Ast.call) =
-          match base.Cfet.may_throw c with
-          | Some e -> Some e
-          | None -> Hashtbl.find_opt table (c.Jir.Ast.target_class, c.Jir.Ast.mname)
-        in
         Icfet.build ~config:{ base with Cfet.may_throw } program)
   in
   let callgraph = timed pre (fun () -> Jir.Callgraph.build program) in
@@ -100,10 +113,29 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
     timed pre (fun () ->
         Clone_tree.build ~max_instances:config.max_instances icfet callgraph)
   in
+  (* escape-based pre-filter (ISSUE 1): tracked allocations that provably
+     never leave their method are resolved locally in [check_property];
+     exclude them from the alias graph so neither closure ever sees them *)
+  let prefiltered =
+    timed pre (fun () ->
+        if config.prefilter && config.prefilter_properties <> [] then
+          let tracked cls =
+            List.exists
+              (fun f -> Fsm.is_tracked f cls)
+              config.prefilter_properties
+          in
+          Escape.analyze ~tracked program
+        else [])
+  in
+  let excluded = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Escape.resolved) -> Hashtbl.replace excluded r.Escape.sid ())
+    prefiltered;
   let alias_graph =
     timed pre (fun () ->
         Alias_graph.build ~max_edges:config.max_graph_edges
-          ~track_null:config.track_null icfet clones)
+          ~track_null:config.track_null ~exclude:(Hashtbl.mem excluded) icfet
+          clones)
   in
   let alias_workdir = Filename.concat config.workdir "alias" in
   let engine_config = { config.engine with Engine.workdir = alias_workdir } in
@@ -140,7 +172,7 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   timing.preprocess_s <- !pre;
   timing.compute_s <- !comp;
   { config; program; icfet; callgraph; clones; alias_graph; alias_engine;
-    flows; n_alias_pairs = !n_alias_pairs; timing }
+    flows; n_alias_pairs = !n_alias_pairs; prefiltered; timing }
 
 (* ---------------- phases 2 and 3 for one property ---------------- *)
 
@@ -182,6 +214,44 @@ let witness_of_constraint (f : Smt.Formula.t) : (string * int) list =
   | Smt.Solver.Model_sat None | Smt.Solver.Model_unsat
   | Smt.Solver.Model_unknown ->
       []
+
+(* Phase 3 for one pre-filtered allocation: run the FSM directly over the
+   event sequence of each feasible local path.  Leaks need no exit-kind
+   check: qualified methods have no exceptional exits, so every complete
+   path ends in a normal return. *)
+let prefiltered_reports (fsm : Fsm.t) (r : Escape.resolved) : Report.t list =
+  List.concat_map
+    (fun (path : Escape.path) ->
+      match Smt.Solver.check path.Escape.cond with
+      | Smt.Solver.Unsat -> []
+      | Smt.Solver.Sat | Smt.Solver.Unknown ->
+          let state, error_site =
+            List.fold_left
+              (fun (st, site) (ev, (s : Jir.Ast.stmt)) ->
+                let st' = Fsm.step fsm st ev in
+                if site = None && st' = fsm.Fsm.error then
+                  (st', Some s.Jir.Ast.at)
+                else (st', site))
+              (fsm.Fsm.initial, None) path.Escape.events
+          in
+          let mk kind site =
+            { Report.checker = fsm.Fsm.name;
+              kind;
+              cls = r.Escape.cls;
+              alloc_at = r.Escape.at;
+              site;
+              context = [ r.Escape.meth_id ];
+              witness = witness_of_constraint path.Escape.cond;
+              trace =
+                [ Printf.sprintf "%s (%s:%d)" r.Escape.meth_id
+                    r.Escape.at.Jir.Ast.file r.Escape.at.Jir.Ast.line ] }
+          in
+          if state = fsm.Fsm.error then
+            [ mk (Report.Error_state (Fsm.state_name fsm state)) error_site ]
+          else if not (Fsm.is_accepting fsm state) then
+            [ mk (Report.Leak (Fsm.state_name fsm state)) None ]
+          else [])
+    r.Escape.paths
 
 let check_property (p : prepared) (fsm : Fsm.t) : property_result =
   let comp = ref 0. and chk = ref 0. in
@@ -252,6 +322,16 @@ let check_property (p : prepared) (fsm : Fsm.t) : property_result =
                 | _ -> ()
               end
           | _ -> ()));
+  (* allocations the pre-filter kept out of the graphs are checked here,
+     against the same FSM, from their locally-enumerated event paths *)
+  timed chk (fun () ->
+      List.iter
+        (fun (r : Escape.resolved) ->
+          if Fsm.is_tracked fsm r.Escape.cls then
+            List.iter
+              (fun rep -> reports := rep :: !reports)
+              (prefiltered_reports fsm r))
+        p.prefiltered);
   p.timing.compute_s <- p.timing.compute_s +. !comp;
   p.timing.check_s <- p.timing.check_s +. !chk;
   { fsm; reports = Report.dedup (List.rev !reports); dataflow_engine = engine;
@@ -273,6 +353,7 @@ type stats = {
   cache_hits : int;
   solve_s : float;
   breakdown : (string * float) list;
+  n_prefiltered : int;  (* tracked allocations resolved without the engine *)
 }
 
 let combine_metrics (ms : Engine.Metrics.t list) : Engine.Metrics.t =
@@ -347,11 +428,20 @@ let stats (p : prepared) (props : property_result list) : stats =
     cache_lookups = m.Engine.Metrics.cache_lookups;
     cache_hits = m.Engine.Metrics.cache_hits;
     solve_s = m.Engine.Metrics.solve_s;
-    breakdown = Engine.Metrics.breakdown m }
+    breakdown = Engine.Metrics.breakdown m;
+    n_prefiltered = List.length p.prefiltered }
 
-(* Convenience wrapper: run every phase for a list of properties. *)
+(* Convenience wrapper: run every phase for a list of properties.  The
+   pre-filter defaults to resolving against exactly the properties being
+   checked; a caller-supplied non-empty [prefilter_properties] wins. *)
 let check ?config ~workdir program fsms =
-  let p = prepare ?config ~workdir program in
+  let config =
+    let c = match config with Some c -> c | None -> default_config ~workdir in
+    if c.prefilter_properties = [] then
+      { c with prefilter_properties = fsms }
+    else c
+  in
+  let p = prepare ~config ~workdir program in
   let results = List.map (check_property p) fsms in
   (p, results)
 

@@ -128,7 +128,8 @@ let args_of_call_stmt (s : Jir.Ast.stmt) : Jir.Ast.expr list =
       args
   | _ -> []
 
-let build_template ~track_null (icfet : Icfet.t) (meth_idx : int) : mtemplate =
+let build_template ~track_null ~exclude (icfet : Icfet.t) (meth_idx : int) :
+    mtemplate =
   let cfet = Icfet.cfet icfet meth_idx in
   let formals =
     this_var :: List.map snd cfet.Cfet.meth.Jir.Ast.params
@@ -163,10 +164,16 @@ let build_template ~track_null (icfet : Icfet.t) (meth_idx : int) : mtemplate =
           | Jir.Ast.Decl (_, v, Some r) | Jir.Ast.Assign (v, r) -> (
               match r with
               | Jir.Ast.Rnew (cls, _) ->
-                  allocs :=
-                    { sid; cls; at = s.Jir.Ast.at; node = node_id } :: !allocs;
-                  emit (Vobj (sid, node_id)) (def v ~sid)
-                    Cfl.Pointer_grammar.New node_id node_id
+                  (* the def version must be registered even for excluded
+                     allocations so the variable's version numbering (and
+                     every other edge) is unchanged by the pre-filter *)
+                  let dst = def v ~sid in
+                  if not (exclude sid) then begin
+                    allocs :=
+                      { sid; cls; at = s.Jir.Ast.at; node = node_id } :: !allocs;
+                    emit (Vobj (sid, node_id)) dst
+                      Cfl.Pointer_grammar.New node_id node_id
+                  end
               | Jir.Ast.Rexpr (Jir.Ast.Var y) ->
                   emit (use y ~sid) (def v ~sid) Cfl.Pointer_grammar.Assign
                     node_id node_id
@@ -332,15 +339,15 @@ let add_edge (g : t) ~max_edges src dst label enc =
   g.n_edges <- g.n_edges + 1
 
 (* Build the full inlined alias graph. *)
-let build ?(max_edges = 5_000_000) ?(track_null = false) (icfet : Icfet.t)
-    (clones : Clone_tree.t) : t =
+let build ?(max_edges = 5_000_000) ?(track_null = false)
+    ?(exclude = fun _ -> false) (icfet : Icfet.t) (clones : Clone_tree.t) : t =
   let g =
     { icfet; clones; n_vertices = 0; info = [||];
       index = Hashtbl.create 4096; edges = []; n_edges = 0; objects = [] }
   in
   let templates =
     Array.init (Icfet.n_methods icfet) (fun i ->
-        build_template ~track_null icfet i)
+        build_template ~track_null ~exclude icfet i)
   in
   Array.iter
     (fun (inst : Clone_tree.instance) ->

@@ -1,1 +1,1 @@
-lib/workload/scoring.ml: Fmt Grapple Hashtbl Jir List Patterns
+lib/workload/scoring.ml: Analysis Fmt Grapple Hashtbl Jir List Patterns

@@ -19,6 +19,8 @@ type profile = {
   patterns_per_method : int; (* correct patterns planted per method *)
   calls_per_method : int;    (* calls into the previous layer *)
   bugs : (string * int) list;  (* checker -> number of injected bugs *)
+  lint_bugs : (string * int) list;
+      (* lint slug -> number of injected lint-detectable bugs *)
   loops_per_subject : int;
 }
 
@@ -102,12 +104,12 @@ let generate (p : profile) : subject =
   let bug_plan : (int * int * int, (Patterns.ctx -> param:string -> Patterns.piece) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
-  let rec assign_bugs bugs slots =
+  let rec assign_bugs bug_rng bugs slots =
     match (bugs, slots) with
-    | [], _ -> ()
-    | (_, n) :: rest, _ when n <= 0 -> assign_bugs rest slots
-    | (checker, n) :: rest, slot :: more ->
-        let pattern = Rng.pick rng (Patterns.bug_patterns_for checker) in
+    | [], rest -> rest
+    | (_, n) :: rest, _ when n <= 0 -> assign_bugs bug_rng rest slots
+    | (patterns, n) :: rest, slot :: more ->
+        let pattern = Rng.pick bug_rng patterns in
         let cur =
           match Hashtbl.find_opt bug_plan slot with
           | Some r -> r
@@ -117,11 +119,25 @@ let generate (p : profile) : subject =
               r
         in
         cur := pattern :: !cur;
-        assign_bugs ((checker, n - 1) :: rest) more
+        assign_bugs bug_rng ((patterns, n - 1) :: rest) more
     | _ :: _, [] ->
         invalid_arg "Generator.generate: more bugs than method slots"
   in
-  assign_bugs p.bugs slots;
+  let after_checker_bugs =
+    assign_bugs rng
+      (List.map (fun (c, n) -> (Patterns.bug_patterns_for c, n)) p.bugs)
+      slots
+  in
+  (* lint bugs draw from a stream of their own: planting them must not
+     perturb the shared rng, or every draw after this point — loop
+     placement, call targets, pattern choices — changes and the subject is
+     a different program (with a different, possibly pathological, analysis
+     cost) from its unlinted counterpart *)
+  let lint_rng = Rng.create (p.seed lxor 0x6c696e74) in
+  ignore
+    (assign_bugs lint_rng
+       (List.map (fun (l, n) -> (Patterns.lint_patterns_for l, n)) p.lint_bugs)
+       after_checker_bugs);
   (* loops sprinkled over a few slots *)
   let loop_slots = Hashtbl.create 8 in
   List.iteri
@@ -230,6 +246,7 @@ let mini_zookeeper () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("io", 1); ("exception", 7); ("socket", 1); ("null", 1) ];
+      lint_bugs = [ ("use-before-init", 1); ("dead-branch", 1) ];
       loops_per_subject = 2 }
 
 let mini_hadoop () =
@@ -243,6 +260,7 @@ let mini_hadoop () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("exception", 7) ];
+      lint_bugs = [ ("use-before-init", 1) ];
       loops_per_subject = 3 }
 
 let mini_hdfs () =
@@ -256,6 +274,7 @@ let mini_hdfs () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("io", 1); ("lock", 1); ("exception", 5); ("socket", 1) ];
+      lint_bugs = [ ("null-deref", 1) ];
       loops_per_subject = 3 }
 
 let mini_hbase () =
@@ -269,6 +288,7 @@ let mini_hbase () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("io", 2); ("exception", 22) ];
+      lint_bugs = [ ("null-deref", 1); ("dead-branch", 1) ];
       loops_per_subject = 4 }
 
 let all_subjects () =

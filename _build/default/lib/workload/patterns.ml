@@ -10,9 +10,13 @@
 
 open Jir.Builder
 
+type exp_kind = [ `Leak | `Error | `Exn | `Lint of string ]
+(* [`Lint name] expectations are matched against [Analysis.Lint] diagnostics
+   rather than checker reports; the payload is the lint slug *)
+
 type expectation = {
-  exp_checker : string;                  (* io | lock | socket | exception *)
-  exp_kind : [ `Leak | `Error | `Exn ];
+  exp_checker : string;             (* io | lock | socket | exception | lint *)
+  exp_kind : exp_kind;
   exp_line : int;
   exp_note : string;
 }
@@ -373,15 +377,24 @@ let exn_handled ctx ~param =
     expected = [] }
 
 (* a throw that is structurally guarded by an impossible condition --
-   correct, decoy for path-insensitive exception checkers *)
+   correct for the exception checker (decoy for path-insensitive ones), but
+   the guard *is* a dead branch, and the lint layer proves it: the ground
+   truth records that so the lint scorer counts the diagnostic as a TP *)
 let exn_infeasible ctx ~param =
   let x = fresh ctx "x" in
-  no_expect
-    [ decl ~at:(next_line ctx) Jir.Ast.Tint x (Jir.Builder.e (v param *: i 2));
-      if_ ~at:(next_line ctx)
-        ((v x >: v param +: v param))
-        [ throw ~at:(next_line ctx) "AppError" ]
-        [] ]
+  let decl_at = next_line ctx in
+  let if_at = next_line ctx in
+  { stmts =
+      [ decl ~at:decl_at Jir.Ast.Tint x (Jir.Builder.e (v param *: i 2));
+        if_ ~at:if_at
+          ((v x >: v param +: v param))
+          [ throw ~at:(next_line ctx) "AppError" ]
+          [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "lint"; exp_kind = `Lint "dead-branch";
+          exp_line = if_at.Jir.Ast.line;
+          exp_note = "x = 2p can never exceed p + p" } ] }
 
 (* ---------------- null-dereference patterns (extension checker) ------- *)
 
@@ -419,6 +432,63 @@ let null_safe_guarded ctx ~param =
           call_stmt ~at:(next_line ctx) w "close" [] ]
         [] ]
 
+(* ---------------- lint-detectable patterns (Analysis.Lint) ------------ *)
+
+(* the writer is used before its first assignment -- use-before-init; the
+   later assignment and close keep the io checker quiet, so only the lint
+   layer flags this *)
+let lint_use_before_init ctx ~param =
+  let w = fresh ctx "uw" in
+  let decl_at = next_line ctx in
+  let use_at = next_line ctx in
+  { stmts =
+      [ decl0 ~at:decl_at writer_t w;
+        call_stmt ~at:use_at w "write" [ v param ];
+        assign ~at:(next_line ctx) w (new_ "FileWriter" []);
+        call_stmt ~at:(next_line ctx) w "close" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "lint"; exp_kind = `Lint "use-before-init";
+          exp_line = use_at.Jir.Ast.line;
+          exp_note = "write before the writer is ever assigned" } ] }
+
+(* unconditional dereference of a definitely-null variable -- both the lint
+   layer (statically, any run) and the null checker (when enabled) see it,
+   so the ground truth carries one expectation for each *)
+let lint_null_deref ctx ~param =
+  let w = fresh ctx "dn" in
+  let null_at = next_line ctx in
+  let deref_at = next_line ctx in
+  { stmts =
+      [ decl ~at:null_at writer_t w null;
+        call_stmt ~at:deref_at w "write" [ v param ] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "lint"; exp_kind = `Lint "null-deref";
+          exp_line = deref_at.Jir.Ast.line;
+          exp_note = "receiver is null on every path" };
+        { exp_checker = "null"; exp_kind = `Error;
+          exp_line = null_at.Jir.Ast.line;
+          exp_note = "null checker sees the same dereference" } ] }
+
+(* a branch on an arithmetically impossible condition with real code under
+   it -- dead branch; needs the solver, not just constant folding *)
+let lint_dead_branch ctx ~param =
+  let z = fresh ctx "z" in
+  let z_at = next_line ctx in
+  let if_at = next_line ctx in
+  { stmts =
+      [ decl ~at:z_at Jir.Ast.Tint z (Jir.Builder.e (v param -: v param));
+        if_ ~at:if_at
+          (v z >: i 0)
+          [ assign ~at:(next_line ctx) z (Jir.Builder.e (v z +: i 1)) ]
+          [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "lint"; exp_kind = `Lint "dead-branch";
+          exp_line = if_at.Jir.Ast.line;
+          exp_note = "z = p - p is always 0, branch never taken" } ] }
+
 (* ---------------- filler ---------------- *)
 
 (* plain integer computation with branches; no property involved *)
@@ -447,3 +517,10 @@ let bug_patterns_for = function
   | "exception" -> [ exn_unhandled ]
   | "null" -> [ null_deref_branch ]
   | c -> invalid_arg ("Patterns.bug_patterns_for: " ^ c)
+
+(* lint-detectable bug patterns, keyed by lint slug (Analysis.Lint names) *)
+let lint_patterns_for = function
+  | "use-before-init" -> [ lint_use_before_init ]
+  | "null-deref" -> [ lint_null_deref ]
+  | "dead-branch" -> [ lint_dead_branch ]
+  | c -> invalid_arg ("Patterns.lint_patterns_for: " ^ c)

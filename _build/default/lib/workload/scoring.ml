@@ -14,7 +14,7 @@ type score = {
   missed : Patterns.expectation list;
 }
 
-let kind_matches (k : Report.kind) (e : [ `Leak | `Error | `Exn ]) =
+let kind_matches (k : Report.kind) (e : Patterns.exp_kind) =
   match (k, e) with
   | Report.Leak _, `Leak
   | Report.Error_state _, `Error
@@ -65,3 +65,59 @@ let score ~(checker : string) ~(expected : Patterns.expectation list)
 
 let pp ppf (s : score) =
   Fmt.pf ppf "TP=%d FP=%d FN=%d" s.tp s.fp s.fn
+
+(* ------------------------------------------------------------------ *)
+(* Lint diagnostics scored the same way: an expectation with checker    *)
+(* "lint" and kind `Lint name matches a diagnostic of that lint on the  *)
+(* same source line, at most once.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type lint_score = {
+  ltp : int;
+  lfp : int;
+  lfn : int;
+  lfp_diags : Analysis.Lint.diag list;
+  lmissed : Patterns.expectation list;
+}
+
+let score_lints ~(expected : Patterns.expectation list)
+    ~(diags : Analysis.Lint.diag list) : lint_score =
+  let expected =
+    List.filter (fun e -> e.Patterns.exp_checker = "lint") expected
+  in
+  let unmatched = Hashtbl.create 16 in
+  List.iteri (fun i e -> Hashtbl.replace unmatched i e) expected;
+  let tp = ref 0 in
+  let fp_diags = ref [] in
+  List.iter
+    (fun (d : Analysis.Lint.diag) ->
+      let matching =
+        Hashtbl.fold
+          (fun i e best ->
+            match best with
+            | Some _ -> best
+            | None -> (
+                match e.Patterns.exp_kind with
+                | `Lint name
+                  when name = d.Analysis.Lint.lint
+                       && d.Analysis.Lint.at.Jir.Ast.line = e.Patterns.exp_line
+                  ->
+                    Some i
+                | _ -> None))
+          unmatched None
+      in
+      match matching with
+      | Some i ->
+          Hashtbl.remove unmatched i;
+          incr tp
+      | None -> fp_diags := d :: !fp_diags)
+    diags;
+  let lmissed = Hashtbl.fold (fun _ e acc -> e :: acc) unmatched [] in
+  { ltp = !tp;
+    lfp = List.length !fp_diags;
+    lfn = List.length lmissed;
+    lfp_diags = List.rev !fp_diags;
+    lmissed }
+
+let pp_lint ppf (s : lint_score) =
+  Fmt.pf ppf "TP=%d FP=%d FN=%d" s.ltp s.lfp s.lfn

@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Analysis Array Jir List Printf String

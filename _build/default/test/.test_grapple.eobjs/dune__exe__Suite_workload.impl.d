@@ -1,1 +1,1 @@
-test/suite_workload.ml: Alcotest Grapple Jir List QCheck QCheck_alcotest Workload
+test/suite_workload.ml: Alcotest Analysis Grapple Jir List QCheck QCheck_alcotest Workload

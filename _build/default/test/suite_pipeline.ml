@@ -9,13 +9,25 @@ let fresh_workdir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "grapple-test-pipe-%d-%d" (Unix.getpid ()) !counter)
 
-let check_src ?(checkers = Checkers.all ()) ?(track_null = false) src =
+let check_src ?(checkers = Checkers.all ()) ?(track_null = false)
+    ?(prefilter = false) src =
   let program = Jir.Resolve.parse_exn src in
   let workdir = fresh_workdir () in
+  let prefilter_properties =
+    if prefilter then
+      List.filter_map
+        (fun (c : Checkers.t) ->
+          match c.Checkers.kind with
+          | `Typestate fsm -> Some fsm
+          | `Exception_walk -> None)
+        checkers
+    else []
+  in
   let config =
     { (Grapple.Pipeline.default_config ~workdir) with
       Grapple.Pipeline.library_throwers = Checkers.Specs.library_throwers;
-      track_null }
+      track_null;
+      prefilter_properties }
   in
   let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
   let results, props = Checkers.run_all prepared checkers in
@@ -392,6 +404,120 @@ entry Main.main;
   Alcotest.(check bool) "breakdown has 4 components" true
     (List.length s.Grapple.Pipeline.breakdown = 4)
 
+(* ---------------- escape-based instance pre-filter ---------------- *)
+
+let use_after_close_src = {|
+class Main {
+  void main(int x) {
+    FileWriter w = new FileWriter();
+    w.close();
+    w.write(1);
+    return;
+  }
+}
+entry Main.main;
+|}
+
+let test_prefilter_same_reports () =
+  (* the pre-filter must not change what is reported, only where the work
+     happens: the non-escaping alloc is resolved intraprocedurally *)
+  let run prefilter =
+    let prepared, results, props =
+      check_src ~checkers:[ Checkers.io () ] ~prefilter use_after_close_src
+    in
+    (Grapple.Pipeline.stats prepared props, kinds (reports_of "io" results))
+  in
+  let s_off, k_off = run false in
+  let s_on, k_on = run true in
+  Alcotest.(check (list string)) "same warnings either way" k_off k_on;
+  Alcotest.(check (list string)) "still the use-after-close" [ "error" ] k_on;
+  Alcotest.(check int) "nothing filtered with the filter off" 0
+    s_off.Grapple.Pipeline.n_prefiltered;
+  Alcotest.(check int) "one allocation filtered" 1
+    s_on.Grapple.Pipeline.n_prefiltered;
+  Alcotest.(check bool) "alias graph shrinks" true
+    (s_on.Grapple.Pipeline.n_vertices < s_off.Grapple.Pipeline.n_vertices)
+
+let test_prefilter_leak_detected () =
+  let prepared, results, props =
+    check_src ~checkers:[ Checkers.io () ] ~prefilter:true {|
+class Main {
+  void main(int a) {
+    FileWriter w = new FileWriter();
+    w.write(a);
+    return;
+  }
+}
+entry Main.main;
+|}
+  in
+  let s = Grapple.Pipeline.stats prepared props in
+  Alcotest.(check int) "resolved off-engine" 1 s.Grapple.Pipeline.n_prefiltered;
+  Alcotest.(check (list string)) "leak still reported" [ "leak" ]
+    (kinds (reports_of "io" results))
+
+let test_prefilter_path_sensitive () =
+  (* the filtered paths carry the same SMT constraints as the engine: the
+     infeasible error path must stay pruned *)
+  let prepared, results, props =
+    check_src ~checkers:[ Checkers.io () ] ~prefilter:true {|
+class Main {
+  void main(int p) {
+    FileWriter w = new FileWriter();
+    int z = p - p;
+    w.close();
+    if (z > 0) {
+      w.write(1);
+    }
+    return;
+  }
+}
+entry Main.main;
+|}
+  in
+  let s = Grapple.Pipeline.stats prepared props in
+  Alcotest.(check int) "resolved off-engine" 1 s.Grapple.Pipeline.n_prefiltered;
+  Alcotest.(check (list string)) "infeasible write-after-close pruned" []
+    (kinds (reports_of "io" results))
+
+let test_prefilter_inert_on_escaping_allocs () =
+  (* figure 3b's writer escapes into an alias; the filter must leave it to
+     the engine and reproduce the paper's exact report *)
+  let run prefilter =
+    let prepared, results, props =
+      check_src ~checkers:[ Checkers.io () ] ~prefilter {|
+class Main {
+  void main(int a) {
+    FileWriter out = null;
+    FileWriter o = null;
+    int x = a;
+    int y = x;
+    if (x >= 0) {
+      out = new FileWriter();
+      o = out;
+      y = y - 1;
+    } else {
+      y = y + 1;
+    }
+    if (y > 0) {
+      out.write(x);
+      o.close();
+    }
+    return;
+  }
+}
+entry Main.main;
+|}
+    in
+    (Grapple.Pipeline.stats prepared props, kinds (reports_of "io" results))
+  in
+  let s_off, k_off = run false in
+  let s_on, k_on = run true in
+  Alcotest.(check int) "nothing qualifies" 0 s_on.Grapple.Pipeline.n_prefiltered;
+  Alcotest.(check (list string)) "reports unchanged" k_off k_on;
+  Alcotest.(check int) "graph identical" s_off.Grapple.Pipeline.n_vertices
+    s_on.Grapple.Pipeline.n_vertices
+
 let test_report_dedup () =
   let r kind site =
     { Grapple.Report.checker = "io"; kind; cls = "FileWriter";
@@ -435,4 +561,11 @@ let suite =
     Alcotest.test_case "report trace present" `Quick test_report_trace_present;
     Alcotest.test_case "null dereference" `Quick test_null_deref;
     Alcotest.test_case "stats populated" `Quick test_stats_populated;
+    Alcotest.test_case "prefilter same reports" `Quick test_prefilter_same_reports;
+    Alcotest.test_case "prefilter leak detected" `Quick
+      test_prefilter_leak_detected;
+    Alcotest.test_case "prefilter path sensitive" `Quick
+      test_prefilter_path_sensitive;
+    Alcotest.test_case "prefilter inert on escaping allocs" `Quick
+      test_prefilter_inert_on_escaping_allocs;
     Alcotest.test_case "report dedup" `Quick test_report_dedup ]

@@ -1,6 +1,7 @@
 (* Tests for the workload generator and the ground-truth scoring. *)
 
-let small_profile ?(bugs = [ ("io", 2); ("exception", 2) ]) ?(seed = 42) () =
+let small_profile ?(bugs = [ ("io", 2); ("exception", 2) ]) ?(lint_bugs = [])
+    ?(seed = 42) () =
   { Workload.Generator.name = "testsubj";
     description = "test subject";
     seed;
@@ -10,6 +11,7 @@ let small_profile ?(bugs = [ ("io", 2); ("exception", 2) ]) ?(seed = 42) () =
     patterns_per_method = 2;
     calls_per_method = 1;
     bugs;
+    lint_bugs;
     loops_per_subject = 1 }
 
 let test_generation_deterministic () =
@@ -128,6 +130,66 @@ let test_scoring_each_expectation_once () =
   Alcotest.(check int) "one tp" 1 s.Workload.Scoring.tp;
   Alcotest.(check int) "second is fp" 1 s.Workload.Scoring.fp
 
+(* ---------------- lint bug injection ---------------- *)
+
+let lint_profile () =
+  small_profile
+    ~lint_bugs:
+      [ ("use-before-init", 1); ("null-deref", 1); ("dead-branch", 1) ]
+    ()
+
+let test_lint_bugs_found () =
+  (* every lint expectation (the injected quota plus any labeled decoy the
+     filler happened to plant) is flagged, and nothing else is *)
+  let s = Workload.Generator.generate (lint_profile ()) in
+  let diags = Analysis.Lint.check_program s.Workload.Generator.program in
+  let ls =
+    Workload.Scoring.score_lints ~expected:s.Workload.Generator.expected
+      ~diags
+  in
+  Alcotest.(check bool) "quota planted" true (ls.Workload.Scoring.ltp >= 3);
+  Alcotest.(check int) "no false positives" 0 ls.Workload.Scoring.lfp;
+  Alcotest.(check int) "no misses" 0 ls.Workload.Scoring.lfn
+
+let test_lint_clean_without_lint_bugs () =
+  (* with no lint quota, every diagnostic the linter emits must still be
+     explained by a labeled pattern: zero false positives on ground truth *)
+  let s = Workload.Generator.generate (small_profile ()) in
+  let diags = Analysis.Lint.check_program s.Workload.Generator.program in
+  let ls =
+    Workload.Scoring.score_lints ~expected:s.Workload.Generator.expected
+      ~diags
+  in
+  Alcotest.(check int) "no false positives" 0 ls.Workload.Scoring.lfp;
+  Alcotest.(check int) "no misses" 0 ls.Workload.Scoring.lfn
+
+let test_score_lints_each_expectation_once () =
+  let e =
+    { Workload.Patterns.exp_checker = "lint";
+      exp_kind = `Lint "null-deref";
+      exp_line = 5;
+      exp_note = "test" }
+  in
+  let d line =
+    { Analysis.Lint.lint = "null-deref"; meth = "C.m";
+      at = { Jir.Ast.file = "t.jir"; line };
+      message = "m" }
+  in
+  let ls =
+    Workload.Scoring.score_lints ~expected:[ e ] ~diags:[ d 5; d 5; d 9 ]
+  in
+  Alcotest.(check int) "one tp" 1 ls.Workload.Scoring.ltp;
+  Alcotest.(check int) "rest are fp" 2 ls.Workload.Scoring.lfp
+
+let test_generation_byte_identical () =
+  (* same seed => byte-identical JIR text, including with lint bugs *)
+  let gen () =
+    Jir.Pp.program_to_string
+      (Workload.Generator.generate (lint_profile ())).Workload.Generator
+        .program
+  in
+  Alcotest.(check string) "byte identical" (gen ()) (gen ())
+
 (* ---------------- rng ---------------- *)
 
 let test_rng_deterministic () =
@@ -162,6 +224,13 @@ let suite =
     Alcotest.test_case "scoring kind mismatch" `Quick test_scoring_kind_mismatch;
     Alcotest.test_case "scoring filters checker" `Quick test_scoring_filters_checker;
     Alcotest.test_case "each expectation once" `Quick test_scoring_each_expectation_once;
+    Alcotest.test_case "lint bugs found" `Quick test_lint_bugs_found;
+    Alcotest.test_case "lint clean without lint bugs" `Quick
+      test_lint_clean_without_lint_bugs;
+    Alcotest.test_case "lint expectation matched once" `Quick
+      test_score_lints_each_expectation_once;
+    Alcotest.test_case "generation byte identical" `Quick
+      test_generation_byte_identical;
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     QCheck_alcotest.to_alcotest prop_rng_bounds;
     QCheck_alcotest.to_alcotest prop_shuffle_permutation ]

@@ -10,6 +10,7 @@ let () =
       ("engine", Suite_engine.suite);
       ("fsm", Suite_fsm.suite);
       ("graphgen", Suite_graphgen.suite);
+      ("analysis", Suite_analysis.suite);
       ("pipeline", Suite_pipeline.suite);
       ("workload", Suite_workload.suite);
       ("baseline", Suite_baseline.suite) ]

@@ -101,6 +101,31 @@ let test_parse_errors () =
     (Jir.Parser.Parse_error ("expected expression (got ';')", 1))
     (fun () -> ignore (Jir.Parser.parse bad))
 
+(* parse/lex failures must carry the line of the offending token, not the
+   line the parser started the enclosing construct on *)
+let test_parse_error_lines () =
+  let bad = "class C {\n  void m(int p) {\n    int x = ;\n  }\n}\n" in
+  Alcotest.check_raises "missing expression on line 3"
+    (Jir.Parser.Parse_error ("expected expression (got ';')", 3))
+    (fun () -> ignore (Jir.Parser.parse bad));
+  let bad = "class C {\n  void m(int p) {\n    int x = 1\n    return;\n  }\n}\n" in
+  Alcotest.check_raises "missing semicolon reported at the next token"
+    (Jir.Parser.Parse_error ("expected ';' (got keyword \"return\")", 4))
+    (fun () -> ignore (Jir.Parser.parse bad));
+  let bad = "class C {\n  void m(int p) {\n    if (p) {\n    }\n  }\n}\n" in
+  Alcotest.check_raises "non-comparison condition on line 3"
+    (Jir.Parser.Parse_error ("expected comparison operator (got ')')", 3))
+    (fun () -> ignore (Jir.Parser.parse bad))
+
+let test_lexer_error_lines () =
+  Alcotest.check_raises "unexpected character"
+    (Jir.Lexer.Lex_error ("unexpected character '#'", 2))
+    (fun () -> ignore (Jir.Lexer.tokenize "class C {\n# }\n"));
+  (* the unterminated comment is reported at the line the scan ends on *)
+  Alcotest.check_raises "unterminated comment"
+    (Jir.Lexer.Lex_error ("unterminated comment", 3))
+    (fun () -> ignore (Jir.Lexer.tokenize "class C {\n/* lost\ncomment"))
+
 let test_resolve_errors () =
   let src = {|
 class C {
@@ -210,6 +235,34 @@ entry C.m;
   Alcotest.(check int) "statement ids unique after unrolling"
     (List.length !sids) (List.length unique)
 
+(* Unrolling rewrites loops into nested Ifs but must keep every statement's
+   source position: downstream diagnostics (reports, lints) cite original
+   lines. *)
+let test_unroll_preserves_positions () =
+  let src = "class C {\n  void m(int p) {\n    int i = 0;\n    while (i < p) {\n      i = i + 1;\n    }\n    return;\n  }\n}\nentry C.m;\n" in
+  let original_lines = [ 3; 4; 5; 7 ] in
+  let u = Jir.Unroll.unroll_program ~bound:3 (parse src) in
+  let lines = ref [] in
+  let rec collect (b : Jir.Ast.block) =
+    List.iter
+      (fun (s : Jir.Ast.stmt) ->
+        lines := s.Jir.Ast.at.Jir.Ast.line :: !lines;
+        match s.Jir.Ast.kind with
+        | Jir.Ast.If (_, t, f) -> collect t; collect f
+        | Jir.Ast.While (_, b) -> collect b
+        | Jir.Ast.Try (b, cs) ->
+            collect b;
+            List.iter (fun c -> collect c.Jir.Ast.handler) cs
+        | _ -> ())
+      b
+  in
+  List.iter (fun m -> collect m.Jir.Ast.body) (Jir.Ast.all_methods u);
+  let seen = List.sort_uniq compare !lines in
+  Alcotest.(check (list int)) "every original line survives, nothing invented"
+    original_lines seen;
+  Alcotest.(check bool) "unrolled copies multiply the loop lines" true
+    (List.length !lines > List.length original_lines)
+
 (* ---------------- call graph and SCC ---------------- *)
 
 let callgraph_program = {|
@@ -282,6 +335,7 @@ let prop_generator_roundtrip =
             patterns_per_method = 2;
             calls_per_method = 1;
             bugs = [ ("io", 1) ];
+            lint_bugs = [];
             loops_per_subject = 1 }
       in
       let text = Jir.Pp.program_to_string subj.Workload.Generator.program in
@@ -293,12 +347,16 @@ let suite =
     Alcotest.test_case "parse statements" `Quick test_parse_statements;
     Alcotest.test_case "static vs instance calls" `Quick test_parse_static_vs_instance;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error lines" `Quick test_parse_error_lines;
+    Alcotest.test_case "lexer error lines" `Quick test_lexer_error_lines;
     Alcotest.test_case "resolve errors" `Quick test_resolve_errors;
     Alcotest.test_case "library classes allowed" `Quick test_library_classes_allowed;
     Alcotest.test_case "pretty-print round trip" `Quick test_pp_roundtrip;
     Alcotest.test_case "unroll removes loops" `Quick test_unroll_removes_loops;
     Alcotest.test_case "unroll size growth" `Quick test_unroll_size_growth;
     Alcotest.test_case "unroll fresh sids" `Quick test_unroll_fresh_sids;
+    Alcotest.test_case "unroll preserves positions" `Quick
+      test_unroll_preserves_positions;
     Alcotest.test_case "callgraph edges" `Quick test_callgraph_edges;
     Alcotest.test_case "scc detection" `Quick test_scc_detection;
     Alcotest.test_case "reverse topological order" `Quick test_reverse_topological;
