@@ -477,6 +477,123 @@ let prefilter () =
       row "on" s_on r_on t_on (if same then "yes" else "NO!"))
     (Generator.all_subjects ())
 
+(* ------------------------------------------------------------------ *)
+(* Summary pre-filter side-by-side (ISSUE 2): escape filter alone vs.   *)
+(* escape + interprocedural summary triage.  The summary stage must     *)
+(* prune strictly more instances with zero change in reported warnings  *)
+(* (TP and FP identical), and the --interproc lints must catch planted  *)
+(* whole-program bugs the intraprocedural linter misses.                *)
+(* ------------------------------------------------------------------ *)
+
+let summaries () =
+  header "Summary pre-filter: interprocedural typestate triage (on vs off)"
+    "sound pipeline triage ablation + whole-program lints";
+  Printf.printf "%-10s %4s %8s %9s %6s %6s %6s %6s %6s %8s %6s\n" "subject"
+    "sf" "|V|" "#EA" "#esc" "#sum" "TP" "FP" "warns" "time" "same";
+  let fsms =
+    List.filter_map
+      (fun (c : Checkers.t) ->
+        match c.Checkers.kind with
+        | `Typestate fsm -> Some fsm
+        | `Exception_walk -> None)
+      (Checkers.all ())
+  in
+  let checker_names = [ "io"; "lock"; "exception"; "socket" ] in
+  List.iter
+    (fun (subject : Generator.subject) ->
+      let name = subject.Generator.profile.Generator.name in
+      let run on =
+        let workdir =
+          Filename.concat root_workdir (Printf.sprintf "sum-%s-%b" name on)
+        in
+        let config =
+          { (Pipeline.default_config ~workdir) with
+            Pipeline.library_throwers = Checkers.Specs.library_throwers;
+            prefilter_properties = fsms;
+            summary_prefilter = on }
+        in
+        let t0 = Unix.gettimeofday () in
+        let prepared =
+          Pipeline.prepare ~config ~workdir subject.Generator.program
+        in
+        let results, props = Checkers.run_all prepared (Checkers.all ()) in
+        let dt = Unix.gettimeofday () -. t0 in
+        (Pipeline.stats prepared props, results, dt)
+      in
+      let signature results =
+        List.concat_map
+          (fun (checker, reports) ->
+            List.map
+              (fun (r : Grapple.Report.t) ->
+                ( checker,
+                  Grapple.Report.kind_to_string r.Grapple.Report.kind,
+                  r.Grapple.Report.alloc_at.Jir.Ast.line ))
+              reports)
+          results
+        |> List.sort compare
+      in
+      let tp_fp results =
+        List.fold_left
+          (fun (tp, fp) checker ->
+            let reports =
+              Option.value ~default:[] (List.assoc_opt checker results)
+            in
+            let s =
+              Scoring.score ~checker ~expected:subject.Generator.expected
+                ~reports
+            in
+            (tp + s.Scoring.tp, fp + s.Scoring.fp))
+          (0, 0) checker_names
+      in
+      let s_off, r_off, t_off = run false in
+      let s_on, r_on, t_on = run true in
+      let warns rs =
+        List.fold_left (fun acc (_, l) -> acc + List.length l) 0 rs
+      in
+      let same = signature r_off = signature r_on in
+      let row tag (s : Pipeline.stats) rs dt same_col =
+        let tp, fp = tp_fp rs in
+        Printf.printf "%-10s %4s %8d %9d %6d %6d %6d %6d %6d %8s %6s\n" name
+          tag s.Pipeline.n_vertices s.Pipeline.n_edges_after
+          s.Pipeline.n_prefiltered s.Pipeline.n_summary_pruned tp fp (warns rs)
+          (hms dt) same_col
+      in
+      row "off" s_off r_off t_off "";
+      row "on" s_on r_on t_on (if same then "yes" else "NO!"))
+    (Generator.all_subjects ());
+  print_endline
+    "\nshape check: the summary stage prunes instances the escape filter\n\
+     cannot (#sum > 0 on top of #esc) with identical warnings and TP/FP.";
+  (* the --interproc lint surface, scored against the planted
+     interprocedural bugs the intraprocedural linter cannot see *)
+  header "Whole-program lints (grapple lint --interproc)"
+    "interprocedural null/leak findings beyond the intraprocedural linter";
+  Printf.printf "%-12s %18s %18s\n" "subject" "interproc TP/FP/FN"
+    "intraproc TP";
+  List.iter
+    (fun (subject : Generator.subject) ->
+      let program = subject.Generator.program in
+      let diags =
+        Analysis.Summaries.interproc_diags ~fsms:(Checkers.fsms ()) program
+      in
+      let ls =
+        Scoring.score_lints ~checker:"interproc"
+          ~expected:subject.Generator.expected diags
+      in
+      let intra =
+        Scoring.score_lints ~checker:"interproc"
+          ~expected:subject.Generator.expected
+          (Analysis.Lint.check_program program)
+      in
+      Printf.printf "%-12s %11d/%2d/%2d %18d\n"
+        subject.Generator.profile.Generator.name ls.Scoring.ltp ls.Scoring.lfp
+        ls.Scoring.lfn intra.Scoring.ltp)
+    (Generator.all_subjects ());
+  print_endline
+    "\nshape check: every planted interprocedural bug is found by the summary\n\
+     lints (TP >= 1 where planted, FN = 0) and by none of the intraprocedural\n\
+     ones (intraproc TP = 0)."
+
 let ablation () =
   header "Ablation: loop unroll bound k (minizk)" "design choice, §3.1";
   Printf.printf "%3s %8s %8s %8s %8s\n" "k" "TP" "FN" "#EA(K)" "time";
@@ -732,6 +849,7 @@ let () =
       ("oom", fun () -> oom ());
       ("ablation", fun () -> ablation ());
       ("prefilter", fun () -> prefilter ());
+      ("summaries", fun () -> summaries ());
       ("micro", fun () -> micro ()) ]
   in
   let chosen =

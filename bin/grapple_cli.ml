@@ -42,7 +42,9 @@ let file_arg =
 
 let checkers_arg =
   Arg.(value & opt string "io,lock,exception,socket"
-       & info [ "checkers" ] ~docv:"LIST" ~doc:"comma-separated checker names")
+       & info [ "checkers" ] ~docv:"LIST"
+           ~doc:"comma-separated checker names, or `all' for every \
+                 registered checker")
 
 let unroll_arg =
   Arg.(value & opt int 2 & info [ "unroll" ] ~docv:"K" ~doc:"loop unroll bound")
@@ -60,25 +62,32 @@ let no_prefilter_arg =
            ~doc:"disable the escape-based pre-filter; every tracked \
                  allocation goes through the engine")
 
-let checker_of_name = function
-  | "io" -> Checkers.io ()
-  | "lock" -> Checkers.lock ()
-  | "socket" -> Checkers.socket ()
-  | "exception" -> Checkers.exception_ ()
-  | "null" -> Checkers.null ()
-  | s ->
-      Printf.eprintf
-        "unknown checker %S (available: io, lock, exception, socket, null)\n" s;
+let checker_of_name s =
+  match Checkers.find s with
+  | Some c -> c
+  | None ->
+      Printf.eprintf "unknown checker %S (available: %s, all)\n" s
+        (String.concat ", " (Checkers.names ()));
       exit 2
 
+let checker_names spec =
+  if String.trim spec = "all" then Checkers.names ()
+  else String.split_on_char ',' spec
+
+let no_summary_prefilter_arg =
+  Arg.(value & flag
+       & info [ "no-summary-prefilter" ]
+           ~doc:"disable the interprocedural summary pre-filter; allocations \
+                 it would prove unreportable still go through the engine")
+
 let check_cmd =
-  let run file checkers unroll trace json no_prefilter =
+  let run file checkers unroll trace json no_prefilter no_summary_prefilter =
     let program = load file in
     if program.Jir.Ast.entries = [] then
       prerr_endline
         "warning: no `entry Class.method;` declaration -- nothing will be \
          analyzed";
-    let names = String.split_on_char ',' checkers in
+    let names = checker_names checkers in
     let cs = List.map checker_of_name names in
     let prefilter_properties =
       List.filter_map
@@ -95,7 +104,8 @@ let check_cmd =
             library_throwers = Checkers.Specs.library_throwers;
             track_null = List.mem "null" names;
             prefilter = not no_prefilter;
-            prefilter_properties }
+            prefilter_properties;
+            summary_prefilter = not no_summary_prefilter }
         in
         let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
         let results, props = Checkers.run_all prepared cs in
@@ -122,7 +132,8 @@ let check_cmd =
         let summary = if json then Printf.eprintf else Printf.printf in
         summary
           "\n%d warning(s); |V|=%d |E|before=%d |E|after=%d partitions=%d \
-           iterations=%d constraints=%d cache=%d/%d prefiltered=%d\n"
+           iterations=%d constraints=%d cache=%d/%d prefiltered=%d \
+           summary-pruned=%d\n"
           !total stats.Grapple.Pipeline.n_vertices
           stats.Grapple.Pipeline.n_edges_before
           stats.Grapple.Pipeline.n_edges_after
@@ -130,16 +141,29 @@ let check_cmd =
           stats.Grapple.Pipeline.n_iterations
           stats.Grapple.Pipeline.n_constraints_solved
           stats.Grapple.Pipeline.cache_hits stats.Grapple.Pipeline.cache_lookups
-          stats.Grapple.Pipeline.n_prefiltered)
+          stats.Grapple.Pipeline.n_prefiltered
+          stats.Grapple.Pipeline.n_summary_pruned)
   in
   Cmd.v (Cmd.info "check" ~doc:"run property checkers on a JIR file")
     Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ trace_arg
-          $ json_arg $ no_prefilter_arg)
+          $ json_arg $ no_prefilter_arg $ no_summary_prefilter_arg)
+
+let interproc_arg =
+  Arg.(value & flag
+       & info [ "interproc" ]
+           ~doc:"also run the summary-based whole-program lints \
+                 (interproc-null, interproc-leak)")
 
 let lint_cmd =
-  let run file json =
+  let run file json interproc =
     let program = load file in
     let diags = Analysis.Lint.check_program program in
+    let diags =
+      if interproc then
+        diags
+        @ Analysis.Summaries.interproc_diags ~fsms:(Checkers.fsms ()) program
+      else diags
+    in
     List.iter
       (fun d ->
         if json then print_endline (Analysis.Lint.to_json d)
@@ -152,8 +176,9 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"run the dataflow lint analyses (use-before-init, null-deref, \
-             dead-branch, unreachable) on a JIR file")
-    Term.(const run $ file_arg $ json_arg)
+             dead-branch, unreachable; with --interproc also the \
+             summary-based whole-program lints) on a JIR file")
+    Term.(const run $ file_arg $ json_arg $ interproc_arg)
 
 let cfet_cmd =
   let run file unroll =

@@ -26,6 +26,13 @@ module type DOMAIN = sig
 
   val transfer : Cfg.t -> int -> t -> t
   (** [transfer g node state] applies node [node]'s effect to [state] *)
+
+  val exc : Cfg.t -> int -> t -> t
+  (** [exc g node state] is the state flowing along an exceptional edge
+      out of [node], given [node]'s in-state.  Intraprocedural clients use
+      the identity (the exception preempts the statement's own effect);
+      interprocedural clients apply the callee's partial effect, since the
+      callee may have advanced tracked objects before throwing. *)
 end
 
 type 'a result = { input : 'a array; output : 'a array }
@@ -51,7 +58,9 @@ module Forward (D : DOMAIN) = struct
         List.fold_left
           (fun acc (p, kind) ->
             let contrib =
-              match kind with Cfg.Exc -> input.(p) | _ -> output.(p)
+              match kind with
+              | Cfg.Exc -> D.exc g p input.(p)
+              | _ -> output.(p)
             in
             D.join acc contrib)
           (if node = g.Cfg.entry then D.init g else D.bottom)

@@ -23,6 +23,8 @@ module Domain = struct
     | All, x | x, All -> x
     | Only x, Only y -> Only (VS.inter x y)
 
+  let exc _ _ state = state
+
   let transfer (g : Cfg.t) node state =
     match Cfg.defs g.Cfg.kinds.(node) with
     | [] -> state

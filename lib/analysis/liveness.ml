@@ -11,6 +11,8 @@ module Domain = struct
   let equal = VS.equal
   let join = VS.union
 
+  let exc _ _ state = state
+
   let transfer (g : Cfg.t) node out_state =
     let k = g.Cfg.kinds.(node) in
     let killed =

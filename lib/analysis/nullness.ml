@@ -46,6 +46,8 @@ module Domain = struct
         Option.value ~default:Top (VM.find_opt y env)
     | Jir.Ast.Rload _ | Jir.Ast.Rcall _ | Jir.Ast.Rexpr _ -> Top
 
+  let exc _ _ state = state
+
   let transfer (g : Cfg.t) node state =
     match state with
     | Unreached -> Unreached

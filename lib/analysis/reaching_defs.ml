@@ -20,6 +20,8 @@ module Domain = struct
   let equal = DS.equal
   let join = DS.union
 
+  let exc _ _ state = state
+
   let transfer (g : Cfg.t) node state =
     match Cfg.defs g.Cfg.kinds.(node) with
     | [] -> state

@@ -1,0 +1,839 @@
+(* Interprocedural typestate summaries (the tentpole of ISSUE 2).
+
+   A flow-sensitive, path- and context-insensitive abstraction of one FSM
+   property over the whole program, computed bottom-up over the call-graph
+   SCC condensation by [Interproc.solve].  Each abstract object carries a
+   transfer relation over FSM states ([Fsm.rel]): the join, over every path
+   reaching the current point, of the composition of the event effects
+   applied so far.  Per-method summaries map each parameter to its relation
+   between entry and normal return (plus a partial relation covering
+   exception exits, and an escape bit) and describe the objects a method
+   can return, so call sites apply callee effects instead of inlining.
+
+   Everything joins: paths (at CFG merges), contexts (one summary per
+   method), and aliases (an uncertain receiver applies an event *weakly*,
+   id ∪ effect, so the "event did not happen" outcome survives).  The
+   abstraction therefore over-approximates the set of event sequences the
+   path-sensitive engine can realize for any allocation — which is what
+   makes the pipeline's summary pre-filter sound: if no abstract sequence
+   reaches the FSM error state and no abstract end-of-life state is
+   non-accepting, the engine can report neither an error nor a leak for
+   that allocation, and it can be dropped before graph generation.
+
+   The same facts power the [interproc-leak] lint under the dual, all-paths
+   reading: if the object dies at some normal exit and *every* abstract
+   end-of-life state there is non-accepting (and the object never escapes
+   and never reaches the error state), every concrete execution leaks. *)
+
+module SM = Map.Make (String)
+
+type origin = Oalloc of int (* allocation sid *) | Oparam of int
+
+module OM = Map.Make (struct
+  type t = origin
+
+  let compare = compare
+end)
+
+module OS = Set.Make (struct
+  type t = origin
+
+  let compare = compare
+end)
+
+(* ---------------- allocation registry ---------------- *)
+
+type alloc_site = {
+  a_sid : int;
+  a_cls : string;
+  a_at : Jir.Ast.pos;
+  a_meth : string;  (* qualified id of the method containing the allocation *)
+}
+
+let alloc_sites (p : Jir.Ast.program) : (int, alloc_site) Hashtbl.t =
+  let table = Hashtbl.create 64 in
+  let rec block mid (b : Jir.Ast.block) = List.iter (stmt mid) b
+  and stmt mid (s : Jir.Ast.stmt) =
+    match s.Jir.Ast.kind with
+    | Jir.Ast.Decl (_, _, Some (Jir.Ast.Rnew (cls, _)))
+    | Jir.Ast.Assign (_, Jir.Ast.Rnew (cls, _)) ->
+        Hashtbl.replace table s.Jir.Ast.sid
+          { a_sid = s.Jir.Ast.sid; a_cls = cls; a_at = s.Jir.Ast.at;
+            a_meth = mid }
+    | Jir.Ast.If (_, t, f) ->
+        block mid t;
+        block mid f
+    | Jir.Ast.While (_, b) -> block mid b
+    | Jir.Ast.Try (b, catches) ->
+        block mid b;
+        List.iter (fun (c : Jir.Ast.catch) -> block mid c.Jir.Ast.handler)
+          catches
+    | _ -> ()
+  in
+  List.iter
+    (fun (m : Jir.Ast.meth) -> block (Jir.Ast.meth_id m) m.Jir.Ast.body)
+    (Jir.Ast.all_methods p);
+  table
+
+(* ---------------- the summary lattice ---------------- *)
+
+type param_summary = {
+  ps_obj : bool;       (* parameter has object type; others never bind *)
+  ps_rel : Fsm.rel;    (* effect between entry and any normal return *)
+  ps_partial : Fsm.rel;  (* join of effects at every point: exception exits *)
+  ps_wild : bool;      (* escapes the summary's view inside the callee *)
+}
+
+type summary = {
+  s_params : param_summary array;
+  s_ret_fresh : (int * Fsm.rel * bool) list;
+      (* allocation sid (here or deeper), accumulated relation, wild;
+         sorted by sid for deterministic equality *)
+  s_ret_params : int list;  (* parameter indices possibly returned *)
+  s_ret_other : bool;
+      (* may return something else: null, an untracked or field-loaded
+         value, or a value from an unanalyzed path *)
+}
+
+let rel_bottom fsm =
+  let n = Fsm.n_states fsm in
+  Array.init n (fun _ -> Array.make n false)
+
+let param_bottom fsm (t : Jir.Ast.typ) =
+  { ps_obj = (match t with Jir.Ast.Tobj _ -> true | _ -> false);
+    ps_rel = rel_bottom fsm;
+    ps_partial = rel_bottom fsm;
+    ps_wild = false }
+
+let summary_bottom fsm (m : Jir.Ast.meth) =
+  { s_params =
+      Array.of_list (List.map (fun (t, _) -> param_bottom fsm t) m.Jir.Ast.params);
+    s_ret_fresh = [];
+    s_ret_params = [];
+    s_ret_other = false }
+
+let summary_equal (a : summary) (b : summary) =
+  Array.length a.s_params = Array.length b.s_params
+  && Array.for_all2
+       (fun p q ->
+         p.ps_obj = q.ps_obj && p.ps_wild = q.ps_wild
+         && Fsm.rel_equal p.ps_rel q.ps_rel
+         && Fsm.rel_equal p.ps_partial q.ps_partial)
+       a.s_params b.s_params
+  && List.length a.s_ret_fresh = List.length b.s_ret_fresh
+  && List.for_all2
+       (fun (s, r, w) (s', r', w') ->
+         s = s' && w = w' && Fsm.rel_equal r r')
+       a.s_ret_fresh b.s_ret_fresh
+  && a.s_ret_params = b.s_ret_params
+  && a.s_ret_other = b.s_ret_other
+
+(* ---------------- the per-method abstract domain ---------------- *)
+
+type ostate = {
+  o_rel : Fsm.rel;
+  o_wild : bool;
+  o_multi : bool;
+      (* origin may describe several live objects at once (allocation in a
+         loop, repeated calls returning the same site): events then apply
+         weakly even through an unaliased variable *)
+}
+
+type binding = {
+  b_objs : OS.t;
+  b_other : bool;  (* may also hold null / an untracked or unknown value *)
+}
+
+type env = { vars : binding SM.t; objs : ostate OM.t }
+
+let unbound = { b_objs = OS.empty; b_other = true }
+
+type tcx = {
+  fsm : Fsm.t;
+  lookup : string -> summary option;  (* defined methods only *)
+}
+
+let cur : tcx option ref = ref None
+
+let tc () = Option.get !cur
+
+let binding env v = Option.value ~default:unbound (SM.find_opt v env.vars)
+
+let set_obj env o st = { env with objs = OM.add o st env.objs }
+
+let wildify env (b : binding) =
+  OS.fold
+    (fun o env ->
+      match OM.find_opt o env.objs with
+      | Some st -> set_obj env o { st with o_wild = true }
+      | None -> env)
+    b.b_objs env
+
+let wildify_expr env (e : Jir.Ast.expr) =
+  List.fold_left (fun env y -> wildify env (binding env y)) env
+    (Jir.Ast.expr_vars e)
+
+(* Apply an effect relation to the objects a binding may reference.  The
+   composition is strong (the effect definitely happened to the object)
+   only when the binding names exactly one non-multi origin and nothing
+   else; any aliasing or points-to uncertainty keeps the identity in. *)
+let apply_eff t env (b : binding) (eff : Fsm.rel) =
+  let definite = (not b.b_other) && OS.cardinal b.b_objs = 1 in
+  OS.fold
+    (fun o env ->
+      match OM.find_opt o env.objs with
+      | None -> env
+      | Some st ->
+          let eff =
+            if definite && not st.o_multi then eff
+            else Fsm.rel_join (Fsm.rel_identity t.fsm) eff
+          in
+          set_obj env o { st with o_rel = Fsm.rel_compose st.o_rel eff })
+    b.b_objs env
+
+(* A new object enters the frame: freshly allocated here, or returned by a
+   callee with relation [rel] accumulated since its birth.  If the origin
+   is already live, the site now describes several objects at once. *)
+let birth env o ~rel ~wild =
+  match OM.find_opt o env.objs with
+  | None -> set_obj env o { o_rel = rel; o_wild = wild; o_multi = false }
+  | Some st ->
+      set_obj env o
+        { o_rel = Fsm.rel_join st.o_rel rel;
+          o_wild = st.o_wild || wild;
+          o_multi = true }
+
+let set_var env v b = { env with vars = SM.add v b env.vars }
+
+let callee_id (c : Jir.Ast.call) =
+  Jir.Ast.qualified_name ~cls:c.Jir.Ast.target_class ~meth:c.Jir.Ast.mname
+
+(* Bindings of the positional [Var] arguments; any origin reachable from a
+   non-variable argument expression escapes conservatively. *)
+let arg_bindings env (c : Jir.Ast.call) : (int * binding) list * env =
+  List.fold_left
+    (fun (acc, env) (i, arg) ->
+      match arg with
+      | Jir.Ast.Var y -> ((i, binding env y) :: acc, env)
+      | e -> (acc, wildify_expr env e))
+    ([], env)
+    (List.mapi (fun i a -> (i, a)) c.Jir.Ast.args)
+
+(* Origins shared between several arguments of the same call: the callee
+   summary models parameters as distinct objects, so interleaved effects on
+   an aliased pair are not covered — those origins go wild. *)
+let wildify_shared env (binds : (int * binding) list) =
+  let seen = Hashtbl.create 8 in
+  let dup = ref OS.empty in
+  List.iter
+    (fun (_, b) ->
+      OS.iter
+        (fun o ->
+          if Hashtbl.mem seen o then dup := OS.add o !dup
+          else Hashtbl.replace seen o ())
+        b.b_objs)
+    binds;
+  wildify env { b_objs = !dup; b_other = false }
+
+(* Effects of a call at its normal return edge; [bind] receives the result. *)
+let do_call t env (c : Jir.Ast.call) ~(bind : Jir.Ast.var option) =
+  match t.lookup (callee_id c) with
+  | Some summ ->
+      (* defined callee: apply its parameter effects positionally *)
+      let env =
+        match c.Jir.Ast.recv with
+        | Some r -> wildify env (binding env r)
+        | None -> env
+      in
+      let binds, env = arg_bindings env c in
+      let env = wildify_shared env binds in
+      let env =
+        List.fold_left
+          (fun env (i, b) ->
+            if i < Array.length summ.s_params && summ.s_params.(i).ps_obj then begin
+              let ps = summ.s_params.(i) in
+              let env = apply_eff t env b ps.ps_rel in
+              if ps.ps_wild then wildify env b else env
+            end
+            else wildify env b)
+          env binds
+      in
+      (match bind with
+      | None -> env
+      | Some x ->
+          let env, fresh =
+            List.fold_left
+              (fun (env, os) (sid, rel, wild) ->
+                (birth env (Oalloc sid) ~rel ~wild, OS.add (Oalloc sid) os))
+              (env, OS.empty) summ.s_ret_fresh
+          in
+          let ret_os, other =
+            List.fold_left
+              (fun (os, other) i ->
+                match List.assoc_opt i binds with
+                | Some b -> (OS.union os b.b_objs, other || b.b_other)
+                | None -> (os, true))
+              (OS.empty, summ.s_ret_other)
+              summ.s_ret_params
+          in
+          set_var env x { b_objs = OS.union fresh ret_os; b_other = other })
+  | None -> (
+      (* library call: an instance call is an FSM event on the receiver;
+         any origin passed as an argument escapes into unknown code *)
+      let env =
+        List.fold_left (fun env e -> wildify_expr env e) env c.Jir.Ast.args
+      in
+      let env =
+        match c.Jir.Ast.recv with
+        | Some r ->
+            apply_eff t env (binding env r)
+              (Fsm.rel_of_event t.fsm c.Jir.Ast.mname)
+        | None -> env
+      in
+      match bind with Some x -> set_var env x unbound | None -> env)
+
+let tracked_class t cls = Fsm.is_tracked t.fsm cls
+
+let do_rhs t env v (r : Jir.Ast.rhs) (s : Jir.Ast.stmt) =
+  match r with
+  | Jir.Ast.Rnew (cls, args) ->
+      let env = List.fold_left (fun env e -> wildify_expr env e) env args in
+      if tracked_class t cls then
+        let o = Oalloc s.Jir.Ast.sid in
+        let env = birth env o ~rel:(Fsm.rel_identity t.fsm) ~wild:false in
+        set_var env v { b_objs = OS.singleton o; b_other = false }
+      else set_var env v unbound
+  | Jir.Ast.Rcall c -> do_call t env c ~bind:(Some v)
+  | Jir.Ast.Rexpr (Jir.Ast.Var y) -> set_var env v (binding env y)
+  | Jir.Ast.Rload _ | Jir.Ast.Rnull | Jir.Ast.Rexpr _ -> set_var env v unbound
+
+module Domain = struct
+  type t = Unreached | Env of env
+
+  let bottom = Unreached
+
+  let init (g : Cfg.t) =
+    let t = tc () in
+    let vars, objs =
+      List.fold_left
+        (fun (vars, objs) (i, (ty, p)) ->
+          match ty with
+          | Jir.Ast.Tobj _ ->
+              ( SM.add p { b_objs = OS.singleton (Oparam i); b_other = false }
+                  vars,
+                OM.add (Oparam i)
+                  { o_rel = Fsm.rel_identity t.fsm;
+                    o_wild = false;
+                    o_multi = false }
+                  objs )
+          | _ -> (SM.add p { b_objs = OS.empty; b_other = false } vars, objs))
+        (SM.empty, OM.empty)
+        (List.mapi (fun i pr -> (i, pr)) g.Cfg.meth.Jir.Ast.params)
+    in
+    Env { vars; objs }
+
+  let equal_binding a b = a.b_other = b.b_other && OS.equal a.b_objs b.b_objs
+
+  let equal_ostate a b =
+    a.o_wild = b.o_wild && a.o_multi = b.o_multi
+    && Fsm.rel_equal a.o_rel b.o_rel
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Env a, Env b ->
+        SM.equal equal_binding a.vars b.vars
+        && OM.equal equal_ostate a.objs b.objs
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Env a, Env b ->
+        Env
+          { vars =
+              SM.merge
+                (fun _ l r ->
+                  match (l, r) with
+                  | Some l, Some r ->
+                      Some
+                        { b_objs = OS.union l.b_objs r.b_objs;
+                          b_other = l.b_other || r.b_other }
+                  | Some x, None | None, Some x ->
+                      (* bound on one side only: the variable may hold
+                         anything on the other *)
+                      Some { x with b_other = true }
+                  | None, None -> None)
+                a.vars b.vars;
+            objs =
+              OM.merge
+                (fun _ l r ->
+                  match (l, r) with
+                  | Some l, Some r ->
+                      Some
+                        { o_rel = Fsm.rel_join l.o_rel r.o_rel;
+                          o_wild = l.o_wild || r.o_wild;
+                          o_multi = l.o_multi || r.o_multi }
+                  | Some x, None | None, Some x -> Some x
+                  | None, None -> None)
+                a.objs b.objs }
+
+  let transfer (g : Cfg.t) node state =
+    match state with
+    | Unreached -> Unreached
+    | Env env -> (
+        let t = tc () in
+        match g.Cfg.kinds.(node) with
+        | Cfg.Stmt ({ kind = Jir.Ast.Decl (_, v, Some r); _ } as s)
+        | Cfg.Stmt ({ kind = Jir.Ast.Assign (v, r); _ } as s) ->
+            Env (do_rhs t env v r s)
+        | Cfg.Stmt { kind = Jir.Ast.Decl (_, v, None); _ } ->
+            Env (set_var env v unbound)
+        | Cfg.Stmt { kind = Jir.Ast.Store (_, _, y); _ } ->
+            Env (wildify env (binding env y))
+        | Cfg.Stmt { kind = Jir.Ast.Expr c; _ } ->
+            Env (do_call t env c ~bind:None)
+        | Cfg.Stmt { kind = Jir.Ast.Return (Some (Jir.Ast.Var y)); _ } ->
+            (* a cleanly-returned allocation transfers ownership to the
+               caller: drop it here so the exit node does not count it as
+               dying in this frame.  Anything uncertain stays, and is then
+               both recorded as returned and checked at exit — conservative
+               in both directions. *)
+            let b = binding env y in
+            if (not b.b_other) && OS.cardinal b.b_objs = 1 then
+              match OS.choose b.b_objs with
+              | Oalloc _ as o -> (
+                  match OM.find_opt o env.objs with
+                  | Some st when not st.o_multi ->
+                      Env { env with objs = OM.remove o env.objs }
+                  | _ -> Env env)
+              | Oparam _ -> Env env
+            else Env env
+        | Cfg.Bind (_, _, v) -> Env (set_var env v unbound)
+        | _ -> Env env)
+
+  (* Exceptional edge out of a call: the callee may have applied any prefix
+     of its effects before throwing.  Partial parameter relations contain
+     the identity, so plain composition covers "threw before touching it";
+     a library event may or may not have fired. *)
+  let exc (g : Cfg.t) node state =
+    match state with
+    | Unreached -> Unreached
+    | Env env -> (
+        match Cfg.node_call g.Cfg.kinds.(node) with
+        | None -> state
+        | Some c -> (
+            let t = tc () in
+            match t.lookup (callee_id c) with
+            | Some summ ->
+                let env =
+                  match c.Jir.Ast.recv with
+                  | Some r -> wildify env (binding env r)
+                  | None -> env
+                in
+                let binds, env = arg_bindings env c in
+                let env = wildify_shared env binds in
+                Env
+                  (List.fold_left
+                     (fun env (i, b) ->
+                       if
+                         i < Array.length summ.s_params
+                         && summ.s_params.(i).ps_obj
+                       then begin
+                         let ps = summ.s_params.(i) in
+                         let env = apply_eff t env b ps.ps_partial in
+                         if ps.ps_wild then wildify env b else env
+                       end
+                       else wildify env b)
+                     env binds)
+            | None ->
+                let env =
+                  List.fold_left (fun env e -> wildify_expr env e) env
+                    c.Jir.Ast.args
+                in
+                Env
+                  (match c.Jir.Ast.recv with
+                  | Some r ->
+                      apply_eff t env (binding env r)
+                        (Fsm.rel_join
+                           (Fsm.rel_identity t.fsm)
+                           (Fsm.rel_of_event t.fsm c.Jir.Ast.mname))
+                  | None -> env)))
+end
+
+module Solver = Dataflow.Forward (Domain)
+
+let solve_method t (g : Cfg.t) : Domain.t Dataflow.result =
+  cur := Some t;
+  let r = Solver.solve g in
+  cur := None;
+  r
+
+(* ---------------- summarization ---------------- *)
+
+let summarize t (g : Cfg.t) (res : Domain.t Dataflow.result) : summary =
+  let m = g.Cfg.meth in
+  let nparams = List.length m.Jir.Ast.params in
+  let exit_objs =
+    match res.Dataflow.input.(g.Cfg.exit_) with
+    | Domain.Unreached -> OM.empty
+    | Domain.Env env -> env.objs
+  in
+  let param_rel i =
+    match OM.find_opt (Oparam i) exit_objs with
+    | Some st -> st.o_rel
+    | None -> rel_bottom t.fsm
+  in
+  (* partial relation and escape: join over every reachable point *)
+  let partial = Array.make nparams (rel_bottom t.fsm) in
+  let wild = Array.make nparams false in
+  Array.iter
+    (fun state ->
+      match state with
+      | Domain.Unreached -> ()
+      | Domain.Env env ->
+          for i = 0 to nparams - 1 do
+            match OM.find_opt (Oparam i) env.objs with
+            | Some st ->
+                partial.(i) <- Fsm.rel_join partial.(i) st.o_rel;
+                if st.o_wild then wild.(i) <- true
+            | None -> ()
+          done)
+    res.Dataflow.input;
+  let s_params =
+    Array.of_list
+      (List.mapi
+         (fun i (ty, _) ->
+           { ps_obj = (match ty with Jir.Ast.Tobj _ -> true | _ -> false);
+             ps_rel = param_rel i;
+             ps_partial = Fsm.rel_join (Fsm.rel_identity t.fsm) partial.(i);
+             ps_wild = wild.(i) })
+         m.Jir.Ast.params)
+  in
+  (* returned objects, from the in-state of every reachable return site *)
+  let fresh : (int, Fsm.rel * bool) Hashtbl.t = Hashtbl.create 8 in
+  let ret_params = ref [] in
+  let ret_other = ref false in
+  for node = 0 to Cfg.n_nodes g - 1 do
+    match (g.Cfg.kinds.(node), res.Dataflow.input.(node)) with
+    | Cfg.Stmt { kind = Jir.Ast.Return (Some e); _ }, Domain.Env env -> (
+        match e with
+        | Jir.Ast.Var y ->
+            let b = binding env y in
+            if b.b_other then ret_other := true;
+            OS.iter
+              (fun o ->
+                match o with
+                | Oparam i ->
+                    if not (List.mem i !ret_params) then
+                      ret_params := i :: !ret_params
+                | Oalloc sid -> (
+                    match OM.find_opt o env.objs with
+                    | None -> ()
+                    | Some st ->
+                        let rel, w =
+                          match Hashtbl.find_opt fresh sid with
+                          | Some (r, w) ->
+                              (Fsm.rel_join r st.o_rel, w || st.o_wild)
+                          | None -> (st.o_rel, st.o_wild)
+                        in
+                        Hashtbl.replace fresh sid (rel, w)))
+              b.b_objs
+        | _ -> ret_other := true)
+    | _ -> ()
+  done;
+  let s_ret_fresh =
+    Hashtbl.fold (fun sid (rel, w) acc -> (sid, rel, w) :: acc) fresh []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  { s_params;
+    s_ret_fresh;
+    s_ret_params = List.sort compare !ret_params;
+    s_ret_other = !ret_other }
+
+(* ---------------- whole-program analysis ---------------- *)
+
+type alloc_fact = {
+  f_site : alloc_site;
+  mutable f_tracked : bool;       (* received an origin somewhere *)
+  mutable f_may_error : bool;     (* error state abstractly reachable *)
+  mutable f_exit_bad : bool;      (* some death point with a non-accepting
+                                     state: the engine could report a leak *)
+  mutable f_wild : bool;          (* escaped the abstraction's view *)
+  mutable f_died_normal : bool;   (* dies at some normal exit *)
+  mutable f_normal_all_bad : bool;
+      (* every normal death point had only non-accepting states: the
+         all-paths premise of the interproc-leak lint *)
+}
+
+type result = {
+  fsm : Fsm.t;
+  summaries : (string, summary) Hashtbl.t;
+  facts : alloc_fact list;  (* sorted by allocation sid *)
+  n_scc_iterations : int;
+}
+
+let initial_states fsm =
+  let v = Array.make (Fsm.n_states fsm) false in
+  v.(fsm.Fsm.initial) <- true;
+  v
+
+let any_nonaccepting fsm states =
+  let bad = ref false in
+  Array.iteri
+    (fun s live -> if live && not (Fsm.is_accepting fsm s) then bad := true)
+    states;
+  !bad
+
+let all_nonaccepting fsm states =
+  let any = ref false and bad = ref true in
+  Array.iteri
+    (fun s live ->
+      if live then begin
+        any := true;
+        if Fsm.is_accepting fsm s then bad := false
+      end)
+    states;
+  !any && !bad
+
+let nonempty states = Array.exists (fun b -> b) states
+
+let client fsm : summary Interproc.client =
+  { Interproc.cl_name = "typestate-summaries";
+    cl_bottom = summary_bottom fsm;
+    cl_equal = summary_equal;
+    cl_analyze =
+      (fun ~lookup _ m ->
+        let t = { fsm; lookup } in
+        let g = Cfg.build m in
+        summarize t g (solve_method t g)) }
+
+let analyze (fsm : Fsm.t) (program : Jir.Ast.program) : result =
+  let r = Interproc.solve (client fsm) program in
+  let lookup = Interproc.lookup r in
+  let sites = alloc_sites program in
+  let facts : (int, alloc_fact) Hashtbl.t = Hashtbl.create 64 in
+  let fact sid =
+    match Hashtbl.find_opt facts sid with
+    | Some f -> f
+    | None ->
+        let f =
+          { f_site = Hashtbl.find sites sid;
+            f_tracked = false;
+            f_may_error = false;
+            f_exit_bad = false;
+            f_wild = false;
+            f_died_normal = false;
+            f_normal_all_bad = true }
+        in
+        Hashtbl.replace facts sid f;
+        f
+  in
+  let t = { fsm; lookup } in
+  let states_of st = Fsm.rel_apply st.o_rel (initial_states fsm) in
+  let record_flow st sid =
+    let f = fact sid in
+    f.f_tracked <- true;
+    if st.o_wild then f.f_wild <- true;
+    let states = states_of st in
+    if states.(fsm.Fsm.error) then f.f_may_error <- true
+  in
+  let record_death ~normal st sid =
+    record_flow st sid;
+    let f = fact sid in
+    let states = states_of st in
+    if nonempty states then begin
+      if any_nonaccepting fsm states then f.f_exit_bad <- true;
+      if normal then begin
+        f.f_died_normal <- true;
+        if not (all_nonaccepting fsm states) then f.f_normal_all_bad <- false
+      end
+    end
+  in
+  let callgraph = Jir.Callgraph.build program in
+  let entries =
+    List.map
+      (fun (cls, m) -> Jir.Ast.qualified_name ~cls ~meth:m)
+      program.Jir.Ast.entries
+  in
+  List.iter
+    (fun (m : Jir.Ast.meth) ->
+      let g = Cfg.build m in
+      let res = solve_method t g in
+      (* every post-effect point: the error state is absorbing, so any
+         abstract visit to it survives to wherever the flow is observed *)
+      Array.iter
+        (fun state ->
+          match state with
+          | Domain.Unreached -> ()
+          | Domain.Env env ->
+              OM.iter
+                (fun o st ->
+                  match o with
+                  | Oalloc sid -> record_flow st sid
+                  | Oparam _ -> ())
+                env.objs)
+        res.Dataflow.output;
+      (* death points: local objects still live at an exit of this frame *)
+      let deaths node ~normal =
+        match res.Dataflow.input.(node) with
+        | Domain.Unreached -> ()
+        | Domain.Env env ->
+            OM.iter
+              (fun o st ->
+                match o with
+                | Oalloc sid -> record_death ~normal st sid
+                | Oparam _ -> ())
+              env.objs
+      in
+      deaths g.Cfg.exit_ ~normal:true;
+      deaths g.Cfg.exit_exn ~normal:false;
+      (* objects returned by a callee whose result is dropped die here *)
+      for node = 0 to Cfg.n_nodes g - 1 do
+        match (g.Cfg.kinds.(node), res.Dataflow.input.(node)) with
+        | Cfg.Stmt { kind = Jir.Ast.Expr c; _ }, Domain.Env _ -> (
+            match lookup (callee_id c) with
+            | Some summ ->
+                List.iter
+                  (fun (sid, rel, wild) ->
+                    record_death ~normal:true
+                      { o_rel = rel; o_wild = wild; o_multi = false }
+                      sid)
+                  summ.s_ret_fresh
+            | None -> ())
+        | _ -> ()
+      done;
+      (* objects a root method returns die with the program *)
+      let id = Jir.Ast.meth_id m in
+      if List.mem id entries || Jir.Callgraph.callers callgraph id = [] then
+        match lookup id with
+        | Some summ ->
+            List.iter
+              (fun (sid, rel, wild) ->
+                record_death ~normal:true
+                  { o_rel = rel; o_wild = wild; o_multi = false }
+                  sid)
+              summ.s_ret_fresh
+        | None -> ())
+    (Jir.Ast.all_methods program);
+  let facts =
+    Hashtbl.fold (fun _ f acc -> f :: acc) facts []
+    |> List.sort (fun a b -> compare a.f_site.a_sid b.f_site.a_sid)
+  in
+  { fsm; summaries = r.Interproc.table; facts;
+    n_scc_iterations = r.Interproc.n_scc_iterations }
+
+(* Allocations this property can never flag: no abstract event sequence
+   reaches the error state, no abstract end-of-life state is non-accepting,
+   and the object never escapes the abstraction's view.  The abstraction
+   joins over all paths and contexts, so the set of event sequences the
+   path-sensitive engine can realize is a subset of the abstract ones —
+   pruning these allocations changes no report. *)
+let clean_sids (r : result) : int list =
+  r.facts
+  |> List.filter (fun f ->
+         f.f_tracked && (not f.f_may_error) && (not f.f_exit_bad)
+         && not f.f_wild)
+  |> List.map (fun f -> f.f_site.a_sid)
+
+(* ---------------- the interproc-leak lint ---------------- *)
+
+(* Must-leak under the all-paths abstraction: the object dies at a normal
+   exit, every abstract state at every normal death point is non-accepting,
+   it never escapes, and it never reaches the error state (those are the
+   error checker's findings, not leaks).  Every concrete execution then
+   ends the object's life in a non-accepting state. *)
+let must_leaks (r : result) : alloc_fact list =
+  r.facts
+  |> List.filter (fun f ->
+         f.f_died_normal && f.f_normal_all_bad && (not f.f_wild)
+         && not f.f_may_error)
+
+let leak_diags (fsms : Fsm.t list) (program : Jir.Ast.program) :
+    Lint.diag list =
+  List.concat_map
+    (fun fsm ->
+      let r = analyze fsm program in
+      List.map
+        (fun f ->
+          Lint.diag "interproc-leak" f.f_site.a_meth f.f_site.a_at
+            (Printf.sprintf
+               "%s allocated here never reaches an accepting %s state on \
+                any path"
+               f.f_site.a_cls fsm.Fsm.name))
+        (must_leaks r))
+    fsms
+  |> List.sort (fun (a : Lint.diag) b ->
+         compare
+           (a.Lint.at.Jir.Ast.file, a.Lint.at.Jir.Ast.line, a.Lint.meth)
+           (b.Lint.at.Jir.Ast.file, b.Lint.at.Jir.Ast.line, b.Lint.meth))
+
+(* Combined interprocedural lint surface behind [grapple lint --interproc]. *)
+let interproc_diags ~(fsms : Fsm.t list) (program : Jir.Ast.program) :
+    Lint.diag list =
+  Interproc.null_diags program @ leak_diags fsms program
+  |> List.sort (fun (a : Lint.diag) b ->
+         compare
+           (a.Lint.at.Jir.Ast.file, a.Lint.at.Jir.Ast.line, a.Lint.lint,
+            a.Lint.meth)
+           (b.Lint.at.Jir.Ast.file, b.Lint.at.Jir.Ast.line, b.Lint.lint,
+            b.Lint.meth))
+
+(* Deterministic rendering of a whole result, for the byte-identity test.
+   Allocation sites print as class@file:line, not raw sids: sids come from
+   a global counter, so two structurally identical programs built in the
+   same process get different absolute values. *)
+let render (r : result) : string =
+  let buf = Buffer.create 1024 in
+  let site_of =
+    let table = Hashtbl.create 16 in
+    List.iter (fun f -> Hashtbl.replace table f.f_site.a_sid f.f_site) r.facts;
+    fun sid ->
+      match Hashtbl.find_opt table sid with
+      | Some site ->
+          Printf.sprintf "%s@%s:%d" site.a_cls site.a_at.Jir.Ast.file
+            site.a_at.Jir.Ast.line
+      | None -> "?"
+  in
+  let ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) r.summaries []
+    |> List.sort compare
+  in
+  List.iter
+    (fun id ->
+      let s = Hashtbl.find r.summaries id in
+      Buffer.add_string buf (Printf.sprintf "method %s\n" id);
+      Array.iteri
+        (fun i (p : param_summary) ->
+          if p.ps_obj then
+            Buffer.add_string buf
+              (Printf.sprintf "  p%d rel=[%s] partial=[%s] wild=%b\n" i
+                 (Fsm.rel_to_string r.fsm p.ps_rel)
+                 (Fsm.rel_to_string r.fsm p.ps_partial)
+                 p.ps_wild))
+        s.s_params;
+      List.iter
+        (fun (sid, rel, w) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  ret alloc:%s rel=[%s] wild=%b\n" (site_of sid)
+               (Fsm.rel_to_string r.fsm rel)
+               w))
+        s.s_ret_fresh;
+      if s.s_ret_params <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  ret params=[%s]\n"
+             (String.concat ","
+                (List.map string_of_int s.s_ret_params)));
+      if s.s_ret_other then Buffer.add_string buf "  ret other\n")
+    ids;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "alloc %s in %s error=%b exit_bad=%b wild=%b leak=%b\n"
+           (site_of f.f_site.a_sid) f.f_site.a_meth
+           f.f_may_error f.f_exit_bad f.f_wild
+           (f.f_died_normal && f.f_normal_all_bad && (not f.f_wild)
+            && not f.f_may_error)))
+    r.facts;
+  Buffer.contents buf

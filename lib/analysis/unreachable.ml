@@ -80,6 +80,8 @@ let rec eval env ~meth_id (e : Jir.Ast.expr) : value =
 module ConstDomain = struct
   include Domain
 
+  let exc _ _ state = state
+
   let transfer (g : Cfg.t) node state =
     match state with
     | Unreached -> Unreached

@@ -23,6 +23,25 @@ let all () = [ io (); lock (); exception_ (); socket () ]
 
 let all_with_null () = all () @ [ null () ]
 
+(* The one shared name table: CLI parsing, the `all` alias, and the
+   available-checkers error message all derive from this list. *)
+let registry : (string * (unit -> t)) list =
+  [ ("io", io); ("lock", lock); ("exception", exception_); ("socket", socket);
+    ("null", null) ]
+
+let names () = List.map fst registry
+
+let find name =
+  Option.map (fun (_, mk) -> mk ()) (List.find_opt (fun (n, _) -> n = name) registry)
+
+(* The typestate FSMs of every registered checker, for analyses that run
+   per-property (the interprocedural lints). *)
+let fsms () =
+  List.filter_map
+    (fun (_, mk) ->
+      match (mk ()).kind with `Typestate f -> Some f | `Exception_walk -> None)
+    registry
+
 (* Run one checker against a prepared program; returns its warnings. *)
 let run (p : Pipeline.prepared) (c : t) : Report.t list =
   match c.kind with

@@ -40,6 +40,12 @@ type config = {
   prefilter_properties : Fsm.t list;
       (* the FSMs whose tracked classes the pre-filter may resolve; empty
          disables the pre-filter regardless of [prefilter] *)
+  summary_prefilter : bool;
+      (* second triage stage (ISSUE 2): prune tracked allocations whose
+         over-approximating interprocedural typestate closure
+         (Analysis.Summaries) never reaches the FSM error state and never
+         ends life in a non-accepting state — no report is possible, so
+         they are excluded from the graphs with no local re-check *)
 }
 
 let default_config ~workdir =
@@ -51,7 +57,8 @@ let default_config ~workdir =
     library_throwers = [];
     track_null = false;
     prefilter = true;
-    prefilter_properties = [] }
+    prefilter_properties = [];
+    summary_prefilter = true }
 
 type timing = {
   mutable preprocess_s : float;  (* frontend + graph generation + loading *)
@@ -71,6 +78,10 @@ type prepared = {
   n_alias_pairs : int;
   prefiltered : Escape.resolved list;
       (* tracked allocations resolved locally, excluded from the graphs *)
+  summary_pruned : int list;
+      (* allocation sids the interprocedural summary pre-filter proved
+         unreportable for every property tracking their class; excluded
+         from the graphs outright *)
   timing : timing;
 }
 
@@ -131,6 +142,36 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   List.iter
     (fun (r : Escape.resolved) -> Hashtbl.replace excluded r.Escape.sid ())
     prefiltered;
+  (* summary-based pre-filter (ISSUE 2): an allocation is pruned only when
+     every property tracking its class proves it clean — the abstraction
+     over-approximates realizable event sequences, so neither closure can
+     produce a report for it.  Unlike the escape filter, pruned allocations
+     need no local re-check: clean means no report at all. *)
+  let summary_pruned =
+    timed pre (fun () ->
+        if config.summary_prefilter && config.prefilter_properties <> [] then begin
+          let clean = Hashtbl.create 16 and dirty = Hashtbl.create 16 in
+          List.iter
+            (fun fsm ->
+              let r = Analysis.Summaries.analyze fsm program in
+              let ok = Analysis.Summaries.clean_sids r in
+              List.iter
+                (fun (f : Analysis.Summaries.alloc_fact) ->
+                  let sid = f.Analysis.Summaries.f_site.Analysis.Summaries.a_sid in
+                  if List.mem sid ok then Hashtbl.replace clean sid ()
+                  else Hashtbl.replace dirty sid ())
+                r.Analysis.Summaries.facts)
+            config.prefilter_properties;
+          Hashtbl.fold
+            (fun sid () acc ->
+              if Hashtbl.mem dirty sid || Hashtbl.mem excluded sid then acc
+              else sid :: acc)
+            clean []
+          |> List.sort compare
+        end
+        else [])
+  in
+  List.iter (fun sid -> Hashtbl.replace excluded sid ()) summary_pruned;
   let alias_graph =
     timed pre (fun () ->
         Alias_graph.build ~max_edges:config.max_graph_edges
@@ -172,7 +213,8 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   timing.preprocess_s <- !pre;
   timing.compute_s <- !comp;
   { config; program; icfet; callgraph; clones; alias_graph; alias_engine;
-    flows; n_alias_pairs = !n_alias_pairs; prefiltered; timing }
+    flows; n_alias_pairs = !n_alias_pairs; prefiltered; summary_pruned;
+    timing }
 
 (* ---------------- phases 2 and 3 for one property ---------------- *)
 
@@ -354,6 +396,8 @@ type stats = {
   solve_s : float;
   breakdown : (string * float) list;
   n_prefiltered : int;  (* tracked allocations resolved without the engine *)
+  n_summary_pruned : int;
+      (* tracked allocations the interprocedural summary stage dropped *)
 }
 
 let combine_metrics (ms : Engine.Metrics.t list) : Engine.Metrics.t =
@@ -429,7 +473,8 @@ let stats (p : prepared) (props : property_result list) : stats =
     cache_hits = m.Engine.Metrics.cache_hits;
     solve_s = m.Engine.Metrics.solve_s;
     breakdown = Engine.Metrics.breakdown m;
-    n_prefiltered = List.length p.prefiltered }
+    n_prefiltered = List.length p.prefiltered;
+    n_summary_pruned = List.length p.summary_pruned }
 
 (* Convenience wrapper: run every phase for a list of properties.  The
    pre-filter defaults to resolving against exactly the properties being

@@ -146,6 +146,108 @@ let check_sequence (t : t) (events : string list) : verdict =
   in
   go t.initial events
 
+(* ------------------------------------------------------------------ *)
+(* Transfer relations.                                                 *)
+(*                                                                     *)
+(* A relation r over states: r.(s).(s') holds iff some abstracted      *)
+(* event sequence can take the object from s to s'.  Relations are the *)
+(* summary currency of the interprocedural pre-analysis: the effect of *)
+(* a straight-line code fragment is a function (one true bit per row), *)
+(* joins over branches make it a genuine relation, and composition     *)
+(* chains fragments.  All operations are over the fixed state space of *)
+(* one property, so sizes always agree.                                *)
+(* ------------------------------------------------------------------ *)
+
+type rel = bool array array
+
+let rel_identity (t : t) : rel =
+  let n = n_states t in
+  Array.init n (fun s -> Array.init n (fun s' -> s = s'))
+
+let rel_of_event (t : t) (event : string) : rel =
+  let n = n_states t in
+  Array.init n (fun s ->
+      let s' = step t s event in
+      Array.init n (fun j -> j = s'))
+
+(* [rel_compose a b] relates s to s'' iff a takes s to some s' and b takes
+   s' to s'': "first a, then b". *)
+let rel_compose (a : rel) (b : rel) : rel =
+  let n = Array.length a in
+  Array.init n (fun s ->
+      let row = Array.make n false in
+      for s' = 0 to n - 1 do
+        if a.(s).(s') then
+          for s'' = 0 to n - 1 do
+            if b.(s').(s'') then row.(s'') <- true
+          done
+      done;
+      row)
+
+let rel_join (a : rel) (b : rel) : rel =
+  let n = Array.length a in
+  Array.init n (fun s -> Array.init n (fun s' -> a.(s).(s') || b.(s).(s')))
+
+let rel_equal (a : rel) (b : rel) : bool =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  (try
+     for s = 0 to n - 1 do
+       for s' = 0 to n - 1 do
+         if a.(s).(s') <> b.(s).(s') then raise Exit
+       done
+     done;
+     true
+   with Exit -> false)
+
+let rel_leq (a : rel) (b : rel) : bool = rel_equal (rel_join a b) b
+
+(* Image of a state set under a relation. *)
+let rel_apply (r : rel) (states : bool array) : bool array =
+  let n = Array.length r in
+  let out = Array.make n false in
+  Array.iteri
+    (fun s live -> if live then
+        for s' = 0 to n - 1 do
+          if r.(s).(s') then out.(s') <- true
+        done)
+    states;
+  out
+
+(* Reflexive-transitive closure over every event of the property: the
+   effect of an unknown/unbounded event sequence, used for objects that
+   escape the summary's view (stored to a field, aliased, passed to a
+   library).  Over-approximates any concrete behavior. *)
+let rel_universal (t : t) : rel =
+  let r = ref (rel_identity t) in
+  let one_step =
+    List.fold_left
+      (fun acc e -> rel_join acc (rel_of_event t e))
+      (rel_identity t) t.events
+  in
+  let continue = ref true in
+  while !continue do
+    let next = rel_join !r (rel_compose !r one_step) in
+    if rel_equal next !r then continue := false else r := next
+  done;
+  !r
+
+let rel_to_string (t : t) (r : rel) : string =
+  let buf = Buffer.create 64 in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun s' b ->
+          if b then begin
+            if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+            Buffer.add_string buf
+              (Printf.sprintf "%s->%s" (state_name t s) (state_name t s'))
+          end)
+        row)
+    r;
+  Buffer.contents buf
+
 let pp ppf (t : t) =
   Fmt.pf ppf "@[<v>FSM %s tracking %a@ initial=%s accepting={%a}@]" t.name
     (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)

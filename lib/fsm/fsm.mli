@@ -69,4 +69,35 @@ val check_sequence : t -> string list -> verdict
 (** Classify a complete event sequence: reaches [Error], ends in a
     non-accepting state, or is fine. *)
 
+(** {1 Transfer relations}
+
+    A relation [r] over states: [r.(s).(s')] holds iff some abstracted
+    event sequence can take the object from [s] to [s'].  Used by the
+    interprocedural summary pre-analysis ({!module:Analysis.Summaries}):
+    straight-line effects are functions, joins over branches make genuine
+    relations, composition chains code fragments. *)
+
+type rel = bool array array
+
+val rel_identity : t -> rel
+val rel_of_event : t -> string -> rel
+(** The {!step} function of one event, lifted to a relation. *)
+
+val rel_compose : rel -> rel -> rel
+(** [rel_compose a b] is "first [a], then [b]". *)
+
+val rel_join : rel -> rel -> rel
+val rel_equal : rel -> rel -> bool
+val rel_leq : rel -> rel -> bool
+val rel_apply : rel -> bool array -> bool array
+(** Image of a state set under the relation. *)
+
+val rel_universal : t -> rel
+(** Reflexive-transitive closure over every event of the property: the
+    effect of an arbitrary unknown event sequence.  Over-approximates any
+    concrete behavior; used for objects that escape the summary's view. *)
+
+val rel_to_string : t -> rel -> string
+(** Deterministic rendering ["s->s' s->s'' ..."], for tests and debug. *)
+
 val pp : Format.formatter -> t -> unit

@@ -140,10 +140,11 @@ let tarjan (t : t) : scc =
     components;
   { components; component_of }
 
-(* Methods in reverse-topological order of the SCC condensation: every callee
-   (outside the method's own SCC) appears before its callers.  This is the
-   order bottom-up inlining proceeds in (§4.1). *)
-let reverse_topological (t : t) : string list =
+(* SCC components in reverse-topological order of the condensation: every
+   component appears after all components it calls into (callees first).
+   This is the order bottom-up summary computation and inlining proceed in
+   (§4.1). *)
+let sccs_reverse_topological (t : t) : string list list =
   let scc = tarjan t in
   (* Components as emitted by [tarjan] are ordered callers-last; verify by
      orienting edges and sorting the condensation. *)
@@ -171,7 +172,12 @@ let reverse_topological (t : t) : string list =
   in
   for i = 0 to n - 1 do visit i done;
   (* [order] now lists components with callees first. *)
-  List.concat_map (fun i -> scc.components.(i)) (List.rev !order)
+  List.map (fun i -> scc.components.(i)) (List.rev !order)
+
+(* Methods in reverse-topological order of the SCC condensation: every callee
+   (outside the method's own SCC) appears before its callers. *)
+let reverse_topological (t : t) : string list =
+  List.concat (sccs_reverse_topological t)
 
 let is_recursive (t : t) (scc : scc) id =
   match Hashtbl.find_opt scc.component_of id with

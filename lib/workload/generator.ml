@@ -260,7 +260,7 @@ let mini_hadoop () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("exception", 7) ];
-      lint_bugs = [ ("use-before-init", 1) ];
+      lint_bugs = [ ("use-before-init", 1); ("interproc-null", 1) ];
       loops_per_subject = 3 }
 
 let mini_hdfs () =
@@ -288,7 +288,8 @@ let mini_hbase () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("io", 2); ("exception", 22) ];
-      lint_bugs = [ ("null-deref", 1); ("dead-branch", 1) ];
+      lint_bugs =
+        [ ("null-deref", 1); ("dead-branch", 1); ("interproc-null", 1) ];
       loops_per_subject = 4 }
 
 let all_subjects () =

@@ -159,7 +159,12 @@ let io_leak_via_helper ctx ~param =
     helpers = [ helper ];
     expected =
       [ { exp_checker = "io"; exp_kind = `Leak; exp_line = alloc_at.Jir.Ast.line;
-          exp_note = "helper-created writer never closed" } ] }
+          exp_note = "helper-created writer never closed" };
+        (* the summary lint proves the same leak without the engine: the
+           object reaches no accepting state on any path *)
+        { exp_checker = "interproc"; exp_kind = `Lint "interproc-leak";
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "must-leak under the all-paths summary abstraction" } ] }
 
 (* resource stored into a container field and closed through the loaded
    alias -- correct, exercises store[f] alias load[f] *)
@@ -471,6 +476,33 @@ let lint_null_deref ctx ~param =
           exp_line = null_at.Jir.Ast.line;
           exp_note = "null checker sees the same dereference" } ] }
 
+(* a helper that returns null on every path, dereferenced by the caller.
+   Intraprocedurally the call result is unknown, so the local null-deref
+   lint stays quiet -- only the summary-based interprocedural lint
+   (interproc-null) sees the flow.  This is the injected bug the issue's
+   acceptance criterion requires --interproc to catch. *)
+let interproc_null_via_return ctx ~param =
+  let helper_name = fresh ctx "defaultWriter" in
+  let w = fresh ctx "iw" in
+  let r = fresh ctx "ir" in
+  let helper =
+    meth ~cls:ctx.helpers_class ~name:helper_name
+      ~params:[ (Jir.Ast.Tint, "n") ] ~ret:writer_t
+      [ decl ~at:(next_line ctx) writer_t r null;
+        return ~at:(next_line ctx) (Some (v r)) ]
+  in
+  let call_at = next_line ctx in
+  let deref_at = next_line ctx in
+  { stmts =
+      [ decl ~at:call_at writer_t w
+          (scall_rhs ctx.helpers_class helper_name [ v param ]);
+        call_stmt ~at:deref_at w "write" [ v param ] ];
+    helpers = [ helper ];
+    expected =
+      [ { exp_checker = "interproc"; exp_kind = `Lint "interproc-null";
+          exp_line = deref_at.Jir.Ast.line;
+          exp_note = "helper returns null on every path" } ] }
+
 (* a branch on an arithmetically impossible condition with real code under
    it -- dead branch; needs the solver, not just constant folding *)
 let lint_dead_branch ctx ~param =
@@ -523,4 +555,5 @@ let lint_patterns_for = function
   | "use-before-init" -> [ lint_use_before_init ]
   | "null-deref" -> [ lint_null_deref ]
   | "dead-branch" -> [ lint_dead_branch ]
+  | "interproc-null" -> [ interproc_null_via_return ]
   | c -> invalid_arg ("Patterns.lint_patterns_for: " ^ c)

@@ -80,10 +80,13 @@ type lint_score = {
   lmissed : Patterns.expectation list;
 }
 
-let score_lints ~(expected : Patterns.expectation list)
-    ~(diags : Analysis.Lint.diag list) : lint_score =
+(* [checker] selects which expectations the diagnostics are scored
+   against: "lint" (default) for the intraprocedural lints, "interproc"
+   for the summary-based whole-program lints. *)
+let score_lints ?(checker = "lint") ~(expected : Patterns.expectation list)
+    (diags : Analysis.Lint.diag list) : lint_score =
   let expected =
-    List.filter (fun e -> e.Patterns.exp_checker = "lint") expected
+    List.filter (fun e -> e.Patterns.exp_checker = checker) expected
   in
   let unmatched = Hashtbl.create 16 in
   List.iteri (fun i e -> Hashtbl.replace unmatched i e) expected;

@@ -145,7 +145,7 @@ let test_lint_bugs_found () =
   let diags = Analysis.Lint.check_program s.Workload.Generator.program in
   let ls =
     Workload.Scoring.score_lints ~expected:s.Workload.Generator.expected
-      ~diags
+      diags
   in
   Alcotest.(check bool) "quota planted" true (ls.Workload.Scoring.ltp >= 3);
   Alcotest.(check int) "no false positives" 0 ls.Workload.Scoring.lfp;
@@ -158,7 +158,7 @@ let test_lint_clean_without_lint_bugs () =
   let diags = Analysis.Lint.check_program s.Workload.Generator.program in
   let ls =
     Workload.Scoring.score_lints ~expected:s.Workload.Generator.expected
-      ~diags
+      diags
   in
   Alcotest.(check int) "no false positives" 0 ls.Workload.Scoring.lfp;
   Alcotest.(check int) "no misses" 0 ls.Workload.Scoring.lfn
@@ -176,7 +176,7 @@ let test_score_lints_each_expectation_once () =
       message = "m" }
   in
   let ls =
-    Workload.Scoring.score_lints ~expected:[ e ] ~diags:[ d 5; d 5; d 9 ]
+    Workload.Scoring.score_lints ~expected:[ e ] [ d 5; d 5; d 9 ]
   in
   Alcotest.(check int) "one tp" 1 ls.Workload.Scoring.ltp;
   Alcotest.(check int) "rest are fp" 2 ls.Workload.Scoring.lfp

@@ -11,6 +11,7 @@ let () =
       ("fsm", Suite_fsm.suite);
       ("graphgen", Suite_graphgen.suite);
       ("analysis", Suite_analysis.suite);
+      ("interproc", Suite_interproc.suite);
       ("pipeline", Suite_pipeline.suite);
       ("workload", Suite_workload.suite);
       ("baseline", Suite_baseline.suite) ]
