@@ -80,8 +80,69 @@ let no_summary_prefilter_arg =
            ~doc:"disable the interprocedural summary pre-filter; allocations \
                  it would prove unreportable still go through the engine")
 
+let workdir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "workdir" ] ~docv:"DIR"
+           ~doc:"working directory for partition files and checkpoint \
+                 manifests (default: a fresh temporary directory); keep it \
+                 to make a later $(b,--resume) possible")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"DIR"
+           ~doc:"resume an interrupted run from DIR's checkpoint manifests, \
+                 recomputing only unfinished work; the report is \
+                 byte-identical to an uninterrupted run")
+
+let instance_budget_arg =
+  Arg.(value & opt float 0.
+       & info [ "instance-budget" ] ~docv:"SECONDS"
+           ~doc:"wall-clock budget per checking instance and attempt; 0 = \
+                 unlimited.  An instance that exhausts it is retried from \
+                 its last checkpoint and eventually degraded to an \
+                 `inconclusive' report instead of aborting the run")
+
+let edge_budget_arg =
+  Arg.(value & opt int 0
+       & info [ "edge-budget" ] ~docv:"N"
+           ~doc:"transitive-edge budget per checking instance; 0 = \
+                 unlimited.  Same retry-then-degrade behaviour as \
+                 $(b,--instance-budget)")
+
+let max_retries_arg =
+  Arg.(value & opt int 3
+       & info [ "max-retries" ] ~docv:"N"
+           ~doc:"restarts per checking instance (and retries per storage \
+                 operation) before giving up on it")
+
+let fault_plan_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fault-plan" ] ~docv:"SPEC"
+           ~doc:"install a deterministic storage fault plan, e.g. \
+                 `seed=7,rate=0.05' or `fail-write=3,crash-checkpoint=2' \
+                 (testing the resilience layer; also read from the \
+                 GRAPPLE_FAULT_PLAN environment variable)")
+
+let smt_budget_arg =
+  Arg.(value & opt int 0
+       & info [ "smt-budget" ] ~docv:"N"
+           ~doc:"DPLL(T) round budget per solver call; 0 = the default \
+                 (10000).  Exhaustion stays sound: the path is assumed \
+                 feasible, counted in the smt-budget-hits stat")
+
 let check_cmd =
-  let run file checkers unroll trace json no_prefilter no_summary_prefilter =
+  let run file checkers unroll trace json no_prefilter no_summary_prefilter
+      workdir_opt resume_opt instance_budget edge_budget max_retries
+      fault_plan smt_budget =
+    (match
+       match fault_plan with
+       | Some _ -> fault_plan
+       | None -> Sys.getenv_opt "GRAPPLE_FAULT_PLAN"
+     with
+    | Some spec when String.trim spec <> "" ->
+        Engine.Faults.install (Engine.Faults.parse spec)
+    | _ -> ());
+    Smt.Solver.set_budget smt_budget;
     let program = load file in
     if program.Jir.Ast.entries = [] then
       prerr_endline
@@ -97,7 +158,17 @@ let check_cmd =
           | `Exception_walk -> None)
         cs
     in
-    with_workdir (fun workdir ->
+    let explicit_dir =
+      match resume_opt with Some d -> Some d | None -> workdir_opt
+    in
+    let in_workdir f =
+      match explicit_dir with
+      | Some dir ->
+          Engine.ensure_dir dir;
+          f dir
+      | None -> with_workdir f
+    in
+    in_workdir (fun workdir ->
         let config =
           { (Grapple.Pipeline.default_config ~workdir) with
             Grapple.Pipeline.unroll_bound = unroll;
@@ -105,7 +176,11 @@ let check_cmd =
             track_null = List.mem "null" names;
             prefilter = not no_prefilter;
             prefilter_properties;
-            summary_prefilter = not no_summary_prefilter }
+            summary_prefilter = not no_summary_prefilter;
+            max_retries;
+            instance_budget_s = instance_budget;
+            instance_edge_budget = edge_budget;
+            resume = resume_opt <> None }
         in
         let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
         let results, props = Checkers.run_all prepared cs in
@@ -129,11 +204,23 @@ let check_cmd =
             total := !total + List.length reports)
           results;
         let stats = Grapple.Pipeline.stats prepared props in
+        if json then
+          (* machine-readable run stats, one line, after the reports *)
+          Printf.printf
+            {|{"tool":"stats","warnings":%d,"n_retried":%d,"n_recovered":%d,"n_inconclusive":%d,"n_smt_budget_hits":%d,"n_faults_injected":%d,"n_corrupt_recovered":%d}|}
+            !total stats.Grapple.Pipeline.n_retried
+            stats.Grapple.Pipeline.n_recovered
+            stats.Grapple.Pipeline.n_inconclusive
+            stats.Grapple.Pipeline.n_smt_budget_hits
+            stats.Grapple.Pipeline.n_faults_injected
+            stats.Grapple.Pipeline.n_corrupt_recovered
+          |> print_newline;
         let summary = if json then Printf.eprintf else Printf.printf in
         summary
           "\n%d warning(s); |V|=%d |E|before=%d |E|after=%d partitions=%d \
            iterations=%d constraints=%d cache=%d/%d prefiltered=%d \
-           summary-pruned=%d\n"
+           summary-pruned=%d retried=%d recovered=%d inconclusive=%d \
+           smt-budget-hits=%d faults-injected=%d\n"
           !total stats.Grapple.Pipeline.n_vertices
           stats.Grapple.Pipeline.n_edges_before
           stats.Grapple.Pipeline.n_edges_after
@@ -142,11 +229,17 @@ let check_cmd =
           stats.Grapple.Pipeline.n_constraints_solved
           stats.Grapple.Pipeline.cache_hits stats.Grapple.Pipeline.cache_lookups
           stats.Grapple.Pipeline.n_prefiltered
-          stats.Grapple.Pipeline.n_summary_pruned)
+          stats.Grapple.Pipeline.n_summary_pruned
+          stats.Grapple.Pipeline.n_retried stats.Grapple.Pipeline.n_recovered
+          stats.Grapple.Pipeline.n_inconclusive
+          stats.Grapple.Pipeline.n_smt_budget_hits
+          stats.Grapple.Pipeline.n_faults_injected)
   in
   Cmd.v (Cmd.info "check" ~doc:"run property checkers on a JIR file")
     Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ trace_arg
-          $ json_arg $ no_prefilter_arg $ no_summary_prefilter_arg)
+          $ json_arg $ no_prefilter_arg $ no_summary_prefilter_arg
+          $ workdir_arg $ resume_arg $ instance_budget_arg $ edge_budget_arg
+          $ max_retries_arg $ fault_plan_arg $ smt_budget_arg)
 
 let interproc_arg =
   Arg.(value & flag

@@ -46,6 +46,19 @@ type config = {
          (Analysis.Summaries) never reaches the FSM error state and never
          ends life in a non-accepting state — no report is possible, so
          they are excluded from the graphs with no local re-check *)
+  max_retries : int;
+      (* supervisor restarts per checking instance (each restart resumes
+         from the instance's last checkpoint) before the instance is
+         degraded to an [Inconclusive] report *)
+  instance_budget_s : float;
+      (* wall-clock budget per checking instance per attempt; 0 = unlimited.
+         Applied to the per-property dataflow engines only — phase 1 is
+         shared preprocessing, not an instance *)
+  instance_edge_budget : int;
+      (* transitive-edge budget per checking instance; 0 = unlimited *)
+  resume : bool;
+      (* continue from the checkpoint manifests found in [workdir]
+         (`grapple check --resume`); fresh sub-runs where none validate *)
 }
 
 let default_config ~workdir =
@@ -58,12 +71,30 @@ let default_config ~workdir =
     track_null = false;
     prefilter = true;
     prefilter_properties = [];
-    summary_prefilter = true }
+    summary_prefilter = true;
+    max_retries = 3;
+    instance_budget_s = 0.;
+    instance_edge_budget = 0;
+    resume = false }
 
 type timing = {
   mutable preprocess_s : float;  (* frontend + graph generation + loading *)
   mutable compute_s : float;     (* engine closures *)
   mutable check_s : float;       (* phase 3 *)
+}
+
+(* Counters maintained by the supervisor across the run.  The two [..0]
+   fields snapshot process-global counters at [prepare] so [stats] can
+   report per-run deltas. *)
+type fault_stats = {
+  mutable n_retried : int;
+      (* retry events: supervisor-level instance restarts plus storage-op
+         retries salvaged from failed attempts (op retries of surviving
+         engines are added by [stats] from their metrics) *)
+  mutable n_recovered : int;  (* instances that succeeded after >= 1 restart *)
+  mutable n_inconclusive : int;  (* instances degraded past the retry limit *)
+  smt_budget_hits0 : int;
+  faults_injected0 : int;
 }
 
 type prepared = {
@@ -83,6 +114,7 @@ type prepared = {
          unreportable for every property tracking their class; excluded
          from the graphs outright *)
   timing : timing;
+  faults : fault_stats;
 }
 
 let timed cell f =
@@ -178,51 +210,91 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
           ~track_null:config.track_null ~exclude:(Hashtbl.mem excluded) icfet
           clones)
   in
+  let faults =
+    { n_retried = 0; n_recovered = 0; n_inconclusive = 0;
+      smt_budget_hits0 = Smt.Solver.stats.Smt.Solver.budget_hits;
+      faults_injected0 = Engine.Faults.injected_count () }
+  in
   let alias_workdir = Filename.concat config.workdir "alias" in
   let engine_config = { config.engine with Engine.workdir = alias_workdir } in
-  let alias_engine =
-    Alias_engine.create ~config:engine_config
-      ~decode:(fun enc -> Icfet.constraint_of icfet enc)
-      ~workdir:alias_workdir ()
+  let mk_alias_engine () =
+    let e =
+      Alias_engine.create ~config:engine_config
+        ~decode:(fun enc -> Icfet.constraint_of icfet enc)
+        ~workdir:alias_workdir ()
+    in
+    timed pre (fun () ->
+        Alias_graph.iter_edges alias_graph (fun edge ->
+            Alias_engine.add_seed e ~src:edge.Alias_graph.src
+              ~dst:edge.Alias_graph.dst ~label:edge.Alias_graph.label
+              ~enc:edge.Alias_graph.enc));
+    e
   in
-  timed pre (fun () ->
-      Alias_graph.iter_edges alias_graph (fun e ->
-          Alias_engine.add_seed alias_engine ~src:e.Alias_graph.src
-            ~dst:e.Alias_graph.dst ~label:e.Alias_graph.label
-            ~enc:e.Alias_graph.enc));
-  timed comp (fun () -> Alias_engine.run alias_engine);
-  (* collect flowsTo facts rooted at allocation sites: the in-memory alias
-     results phase 2 queries (§2.2) *)
-  let flows : Dataflow_graph.flows = Hashtbl.create 1024 in
-  let n_alias_pairs = ref 0 in
-  timed comp (fun () ->
-      Alias_engine.iter_result_edges alias_engine (fun e ->
-          match e.Alias_engine.label with
-          | Pg.Flows_to -> (
-              match Alias_graph.info alias_graph e.Alias_engine.src with
-              | Alias_graph.Obj_vertex _ ->
-                  incr n_alias_pairs;
-                  let cur =
-                    Option.value ~default:[]
-                      (Hashtbl.find_opt flows e.Alias_engine.src)
-                  in
-                  Hashtbl.replace flows e.Alias_engine.src
-                    ((e.Alias_engine.dst, e.Alias_engine.enc) :: cur)
-              | Alias_graph.Var_vertex _ -> ())
-          | _ -> ()));
+  (* The shared phase-1 computation is supervised like a checking instance —
+     retried with backoff, each retry resuming from the engine's last
+     checkpoint — except that failure past the retry limit propagates:
+     without alias facts there is no instance left to degrade.  Collecting
+     the flowsTo facts is part of the attempt (it re-reads the partitions,
+     so it can hit the same faults as the run). *)
+  let rec run_alias attempt =
+    let e = mk_alias_engine () in
+    match
+      timed comp (fun () ->
+          Alias_engine.run ~resume:(config.resume || attempt > 0) e);
+      (* collect flowsTo facts rooted at allocation sites: the in-memory
+         alias results phase 2 queries (§2.2) *)
+      let flows : Dataflow_graph.flows = Hashtbl.create 1024 in
+      let n_alias_pairs = ref 0 in
+      timed comp (fun () ->
+          Alias_engine.iter_result_edges e (fun edge ->
+              match edge.Alias_engine.label with
+              | Pg.Flows_to -> (
+                  match Alias_graph.info alias_graph edge.Alias_engine.src with
+                  | Alias_graph.Obj_vertex _ ->
+                      incr n_alias_pairs;
+                      let cur =
+                        Option.value ~default:[]
+                          (Hashtbl.find_opt flows edge.Alias_engine.src)
+                      in
+                      Hashtbl.replace flows edge.Alias_engine.src
+                        ((edge.Alias_engine.dst, edge.Alias_engine.enc) :: cur)
+                  | Alias_graph.Var_vertex _ -> ())
+              | _ -> ()));
+      (flows, !n_alias_pairs)
+    with
+    | flows, n_alias_pairs ->
+        if attempt > 0 then faults.n_recovered <- faults.n_recovered + 1;
+        (e, flows, n_alias_pairs)
+    | exception ((Engine.Faults.Injected _ | Sys_error _
+                 | Engine.Budget_exhausted _) as exn) ->
+        (* keep the failed attempt's op-retry count in the run totals *)
+        faults.n_retried <-
+          faults.n_retried + (Alias_engine.metrics e).Engine.Metrics.retries;
+        if attempt >= config.max_retries then raise exn
+        else begin
+          faults.n_retried <- faults.n_retried + 1;
+          Unix.sleepf
+            (Engine.backoff_delay_s ~seed:config.engine.Engine.retry_seed
+               ~base_ms:config.engine.Engine.retry_base_ms ~attempt);
+          run_alias (attempt + 1)
+        end
+  in
+  let alias_engine, flows, n_alias_pairs = run_alias 0 in
   timing.preprocess_s <- !pre;
   timing.compute_s <- !comp;
   { config; program; icfet; callgraph; clones; alias_graph; alias_engine;
-    flows; n_alias_pairs = !n_alias_pairs; prefiltered; summary_pruned;
-    timing }
+    flows; n_alias_pairs; prefiltered; summary_pruned; timing; faults }
 
 (* ---------------- phases 2 and 3 for one property ---------------- *)
 
 type property_result = {
   fsm : Fsm.t;
   reports : Report.t list;
-  dataflow_engine : Dataflow_engine.t;
-  dataflow_graph : Dataflow_graph.t;
+  degraded : string option;
+      (* [Some reason] when the supervisor gave up on this instance; its
+         only report is the matching [Inconclusive] entry *)
+  dataflow_engine : Dataflow_engine.t option;  (* [None] when degraded *)
+  dataflow_graph : Dataflow_graph.t option;
 }
 
 let context_strings (p : prepared) inst =
@@ -295,14 +367,54 @@ let prefiltered_reports (fsm : Fsm.t) (r : Escape.resolved) : Report.t list =
           else [])
     r.Escape.paths
 
-let check_property (p : prepared) (fsm : Fsm.t) : property_result =
+(* The degraded stand-in for an instance the supervisor gave up on: one
+   [Inconclusive] report so the gap in coverage is visible in the output,
+   no engine state. *)
+let inconclusive_result (fsm : Fsm.t) (reason : string) : property_result =
+  { fsm;
+    reports =
+      [ { Report.checker = fsm.Fsm.name;
+          kind = Report.Inconclusive reason;
+          cls = "";
+          alloc_at = { Jir.Ast.file = "<" ^ fsm.Fsm.name ^ ">"; line = 0 };
+          site = None;
+          context = [];
+          witness = [];
+          trace = [] } ];
+    degraded = Some reason;
+    dataflow_engine = None;
+    dataflow_graph = None }
+
+(* Best-effort removal of a degraded instance's partition files: nothing
+   will resume from them, and the workdir may be long-lived. *)
+let sweep_instance_workdir dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+(* Per-instance engine configuration: the pipeline-level budgets override
+   the engine defaults when set. *)
+let instance_engine_config (config : config) ~workdir : Engine.config =
+  { config.engine with
+    Engine.workdir;
+    edge_budget =
+      (if config.instance_edge_budget > 0 then config.instance_edge_budget
+       else config.engine.Engine.edge_budget);
+    wall_budget_s =
+      (if config.instance_budget_s > 0. then config.instance_budget_s
+       else config.engine.Engine.wall_budget_s) }
+
+(* One attempt at phases 2 and 3 for one property; raises on storage faults
+   that survived the engine's op-level retries and on budget exhaustion. *)
+let attempt_property (p : prepared) (fsm : Fsm.t) ~resume : property_result =
   let comp = ref 0. and chk = ref 0. in
   let dg =
     timed comp (fun () ->
         Dataflow_graph.build p.icfet p.clones p.alias_graph p.flows fsm)
   in
   let workdir = Filename.concat p.config.workdir ("df-" ^ fsm.Fsm.name) in
-  let engine_config = { p.config.engine with Engine.workdir } in
+  let engine_config = instance_engine_config p.config ~workdir in
   let engine =
     Dataflow_engine.create ~config:engine_config
       ~decode:(fun enc -> Icfet.constraint_of p.icfet enc)
@@ -314,7 +426,12 @@ let check_property (p : prepared) (fsm : Fsm.t) : property_result =
         ~dst:s.Dataflow_graph.dst ~label:s.Dataflow_graph.label
         ~enc:s.Dataflow_graph.enc)
     (Dataflow_graph.seeds dg);
-  timed comp (fun () -> Dataflow_engine.run engine);
+  (try timed comp (fun () -> Dataflow_engine.run ~resume engine)
+   with exn ->
+     (* keep the failed attempt's op-retry count in the run totals *)
+     p.faults.n_retried <-
+       p.faults.n_retried + (Dataflow_engine.metrics engine).Engine.Metrics.retries;
+     raise exn);
   (* phase 3: interpret Track edges against the FSM *)
   let registry = Dataflow_graph.registry dg in
   let by_source = Hashtbl.create 64 in
@@ -376,8 +493,45 @@ let check_property (p : prepared) (fsm : Fsm.t) : property_result =
         p.prefiltered);
   p.timing.compute_s <- p.timing.compute_s +. !comp;
   p.timing.check_s <- p.timing.check_s +. !chk;
-  { fsm; reports = Report.dedup (List.rev !reports); dataflow_engine = engine;
-    dataflow_graph = dg }
+  { fsm; reports = Report.dedup (List.rev !reports); degraded = None;
+    dataflow_engine = Some engine; dataflow_graph = Some dg }
+
+(* Phases 2 and 3 for one property, supervised: on a storage fault that
+   outlived the engine's own op-level retries, or on budget exhaustion, the
+   instance is restarted with deterministic exponential backoff — resuming
+   from its last checkpoint, so each attempt makes net progress — up to
+   [max_retries] times, after which it degrades to an [Inconclusive] report
+   instead of aborting the run.  Simulated crashes ([Faults.Crash]) are
+   deliberately not caught. *)
+let check_property (p : prepared) (fsm : Fsm.t) : property_result =
+  let rec go attempt =
+    match attempt_property p fsm ~resume:(p.config.resume || attempt > 0) with
+    | r ->
+        if attempt > 0 then p.faults.n_recovered <- p.faults.n_recovered + 1;
+        r
+    | exception ((Engine.Faults.Injected _ | Sys_error _
+                 | Engine.Budget_exhausted _) as exn) ->
+        let reason =
+          match exn with
+          | Engine.Faults.Injected r | Sys_error r -> r
+          | Engine.Budget_exhausted r -> r
+          | _ -> Printexc.to_string exn
+        in
+        if attempt < p.config.max_retries then begin
+          p.faults.n_retried <- p.faults.n_retried + 1;
+          Unix.sleepf
+            (Engine.backoff_delay_s ~seed:p.config.engine.Engine.retry_seed
+               ~base_ms:p.config.engine.Engine.retry_base_ms ~attempt);
+          go (attempt + 1)
+        end
+        else begin
+          p.faults.n_inconclusive <- p.faults.n_inconclusive + 1;
+          sweep_instance_workdir
+            (Filename.concat p.config.workdir ("df-" ^ fsm.Fsm.name));
+          inconclusive_result fsm reason
+        end
+  in
+  go 0
 
 (* ---------------- aggregate statistics (Tables 3-5, Figure 9) -------- *)
 
@@ -398,6 +552,16 @@ type stats = {
   n_prefiltered : int;  (* tracked allocations resolved without the engine *)
   n_summary_pruned : int;
       (* tracked allocations the interprocedural summary stage dropped *)
+  edges_added : int;  (* transitive edges derived across all engines *)
+  n_retried : int;
+      (* retry events: storage-op retries plus supervisor instance restarts *)
+  n_recovered : int;     (* instances that succeeded after a restart *)
+  n_inconclusive : int;  (* instances degraded to [Inconclusive] *)
+  n_smt_budget_hits : int;
+      (* DPLL(T) budget cuts (answered Unknown => assumed feasible) *)
+  n_faults_injected : int;  (* injected faults fired during this run *)
+  n_corrupt_recovered : int;
+      (* partition reads that recovered a valid prefix from damage *)
 }
 
 let combine_metrics (ms : Engine.Metrics.t list) : Engine.Metrics.t =
@@ -426,40 +590,52 @@ let combine_metrics (ms : Engine.Metrics.t list) : Engine.Metrics.t =
       out.Engine.Metrics.bytes_read <-
         out.Engine.Metrics.bytes_read + m.Engine.Metrics.bytes_read;
       out.Engine.Metrics.bytes_written <-
-        out.Engine.Metrics.bytes_written + m.Engine.Metrics.bytes_written)
+        out.Engine.Metrics.bytes_written + m.Engine.Metrics.bytes_written;
+      out.Engine.Metrics.retries <-
+        out.Engine.Metrics.retries + m.Engine.Metrics.retries;
+      out.Engine.Metrics.corrupt_reads <-
+        out.Engine.Metrics.corrupt_reads + m.Engine.Metrics.corrupt_reads)
     ms;
   out
 
 let stats (p : prepared) (props : property_result list) : stats =
   let alias_m = Alias_engine.metrics p.alias_engine in
   let df_ms =
-    List.map (fun pr -> Dataflow_engine.metrics pr.dataflow_engine) props
+    List.filter_map
+      (fun pr -> Option.map Dataflow_engine.metrics pr.dataflow_engine)
+      props
   in
-  let m = combine_metrics (alias_m :: df_ms) in
+  let sum_graphs f =
+    List.fold_left
+      (fun acc pr ->
+        acc + Option.fold ~none:0 ~some:f pr.dataflow_graph)
+      0 props
+  in
+  let sum_engines f =
+    List.fold_left
+      (fun acc pr ->
+        acc + Option.fold ~none:0 ~some:f pr.dataflow_engine)
+      0 props
+  in
   let n_vertices =
-    Alias_graph.n_vertices p.alias_graph
-    + List.fold_left
-        (fun acc pr -> acc + Dataflow_graph.n_vertices pr.dataflow_graph)
-        0 props
+    Alias_graph.n_vertices p.alias_graph + sum_graphs Dataflow_graph.n_vertices
   in
   let n_edges_before =
     Alias_engine.n_seed_edges p.alias_engine
-    + List.fold_left
-        (fun acc pr -> acc + Dataflow_engine.n_seed_edges pr.dataflow_engine)
-        0 props
+    + sum_engines Dataflow_engine.n_seed_edges
   in
   let n_edges_after =
     Alias_engine.total_edges p.alias_engine
-    + List.fold_left
-        (fun acc pr -> acc + Dataflow_engine.total_edges pr.dataflow_engine)
-        0 props
+    + sum_engines Dataflow_engine.total_edges
   in
   let n_partitions =
     Alias_engine.n_partitions p.alias_engine
-    + List.fold_left
-        (fun acc pr -> acc + Dataflow_engine.n_partitions pr.dataflow_engine)
-        0 props
+    + sum_engines Dataflow_engine.n_partitions
   in
+  (* combined last: [total_edges] above reloads partitions, and under an
+     active fault plan those loads can themselves be retried — summing the
+     metrics afterwards keeps such retries visible in [n_retried] *)
+  let m = combine_metrics (alias_m :: df_ms) in
   { n_vertices;
     n_edges_before;
     n_edges_after;
@@ -474,7 +650,17 @@ let stats (p : prepared) (props : property_result list) : stats =
     solve_s = m.Engine.Metrics.solve_s;
     breakdown = Engine.Metrics.breakdown m;
     n_prefiltered = List.length p.prefiltered;
-    n_summary_pruned = List.length p.summary_pruned }
+    n_summary_pruned = List.length p.summary_pruned;
+    edges_added = m.Engine.Metrics.edges_added;
+    n_retried = p.faults.n_retried + m.Engine.Metrics.retries;
+    n_recovered = p.faults.n_recovered;
+    n_inconclusive = p.faults.n_inconclusive;
+    n_smt_budget_hits =
+      max 0
+        (Smt.Solver.stats.Smt.Solver.budget_hits - p.faults.smt_budget_hits0);
+    n_faults_injected =
+      max 0 (Engine.Faults.injected_count () - p.faults.faults_injected0);
+    n_corrupt_recovered = m.Engine.Metrics.corrupt_reads }
 
 (* Convenience wrapper: run every phase for a list of properties.  The
    pre-filter defaults to resolving against exactly the properties being
@@ -492,4 +678,6 @@ let check ?config ~workdir program fsms =
 
 let cleanup (p : prepared) (props : property_result list) =
   Alias_engine.cleanup p.alias_engine;
-  List.iter (fun pr -> Dataflow_engine.cleanup pr.dataflow_engine) props
+  List.iter
+    (fun pr -> Option.iter Dataflow_engine.cleanup pr.dataflow_engine)
+    props

@@ -8,6 +8,11 @@ type kind =
       (* object reaches a program exit in the named non-accepting state *)
   | Unhandled_exception of string
       (* an explicitly thrown exception escapes every caller *)
+  | Inconclusive of string
+      (* the checking instance could not be completed — its budget ran out
+         or storage kept failing past the retry limit — and was degraded by
+         the supervisor instead of aborting the run; the payload names the
+         reason.  Not a bug claim: it marks where coverage is missing. *)
 
 type t = {
   checker : string;
@@ -29,6 +34,7 @@ let kind_to_string = function
   | Error_state s -> Printf.sprintf "error state (%s)" s
   | Leak s -> Printf.sprintf "leak (ends in %s)" s
   | Unhandled_exception e -> Printf.sprintf "unhandled exception %s" e
+  | Inconclusive why -> Printf.sprintf "inconclusive (%s)" why
 
 (* Stable identity for deduplication: the same defect found along several
    paths or clones (or manifesting at several sites) is one warning. *)
@@ -37,7 +43,8 @@ let dedup_key (r : t) =
     (match r.kind with
     | Error_state _ -> "error"
     | Leak _ -> "leak"
-    | Unhandled_exception e -> "exn:" ^ e),
+    | Unhandled_exception e -> "exn:" ^ e
+    | Inconclusive _ -> "inconclusive"),
     r.cls,
     r.alloc_at.Jir.Ast.file,
     r.alloc_at.Jir.Ast.line )
@@ -62,6 +69,11 @@ let dedup (reports : t list) : t list =
     reports
 
 let pp ppf (r : t) =
+  match r.kind with
+  | Inconclusive _ ->
+      (* no allocation site to cite: the instance was degraded as a whole *)
+      Fmt.pf ppf "[%s] %s" r.checker (kind_to_string r.kind)
+  | _ ->
   Fmt.pf ppf "[%s] %s: %s allocated at %s:%d%a%a" r.checker
     (kind_to_string r.kind) r.cls r.alloc_at.Jir.Ast.file
     r.alloc_at.Jir.Ast.line
@@ -110,6 +122,7 @@ let to_json (r : t) =
     | Error_state s -> ("error", s)
     | Leak s -> ("leak", s)
     | Unhandled_exception e -> ("exception", e)
+    | Inconclusive why -> ("inconclusive", why)
   in
   let site =
     match r.site with

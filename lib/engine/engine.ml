@@ -16,6 +16,8 @@
 module Metrics = Metrics
 module Lru = Lru
 module Storage = Storage
+module Faults = Faults
+module Manifest = Manifest
 module Encoding = Pathenc.Encoding
 module Formula = Smt.Formula
 module Solver = Smt.Solver
@@ -52,7 +54,32 @@ type config = {
       (* worker domains for parallel constraint solving ("multiple
          edge-induction threads" of §4.3); 1 = sequential.  Decode/solve
          timers are merged into the solve timer when > 1. *)
+  max_retries : int;
+      (* transient storage faults absorbed per operation before the failure
+         propagates to the caller *)
+  retry_base_ms : float;  (* base delay of the exponential backoff *)
+  retry_seed : int;       (* seed of the deterministic backoff jitter *)
+  edge_budget : int;
+      (* abort with [Budget_exhausted] once this many transitive edges have
+         been added; 0 = unlimited *)
+  wall_budget_s : float;
+      (* abort with [Budget_exhausted] after this much wall-clock time in
+         [run]; 0 = unlimited *)
 }
+
+(* A budget abort.  State on disk stays consistent (the last checkpoint is
+   durable), so the caller may retry with [run ~resume:true], extend the
+   budget, or degrade the instance. *)
+exception Budget_exhausted of string
+
+(* Deterministic backoff: [base * 2^attempt], scaled by a seeded jitter in
+   [1, 2) so concurrent instances don't retry in lockstep, yet a given
+   (seed, attempt) always sleeps the same amount. *)
+let backoff_delay_s ~seed ~base_ms ~attempt =
+  let jitter =
+    1. +. (float_of_int (Faults.mix3 seed 0x7e7 attempt mod 1000) /. 1000.)
+  in
+  base_ms /. 1000. *. (2. ** float_of_int attempt) *. jitter
 
 (* mkdir -p *)
 let rec ensure_dir dir =
@@ -70,7 +97,12 @@ let default_config ~workdir =
     feasibility_enabled = true;
     max_path_elements = 64;
     max_encodings_per_key = 8;
-    solver_domains = 1 }
+    solver_domains = 1;
+    max_retries = 3;
+    retry_base_ms = 2.;
+    retry_seed = 0x6a09;
+    edge_budget = 0;
+    wall_budget_s = 0. }
 
 module Make (L : LABEL_LOGIC) = struct
   type edge = { src : int; dst : int; label : L.t; enc : Encoding.t }
@@ -107,6 +139,7 @@ module Make (L : LABEL_LOGIC) = struct
     mutable n_seed_edges : int;
     mutable max_vertex : int;
     mutable ran : bool;
+    mutable run_start : float;  (* wall-budget reference point, set by [run] *)
   }
 
   let create ?(config : config option) ~decode ~workdir () =
@@ -123,9 +156,46 @@ module Make (L : LABEL_LOGIC) = struct
       seeds = [];
       n_seed_edges = 0;
       max_vertex = 0;
-      ran = false }
+      ran = false;
+      run_start = 0. }
 
   let metrics t = t.metrics
+
+  (* ---------------- fault absorption and budgets ---------------- *)
+
+  (* Absorb transient storage faults: injected faults and real I/O errors
+     are retried with deterministic exponential backoff up to
+     [max_retries] times, then propagated.  Simulated crashes
+     ([Faults.Crash]) are never caught — a dead process doesn't retry. *)
+  let with_retries t f =
+    let rec go attempt =
+      try f ()
+      with (Faults.Injected _ | Sys_error _) as exn ->
+        if attempt >= t.config.max_retries then raise exn
+        else begin
+          t.metrics.Metrics.retries <- t.metrics.Metrics.retries + 1;
+          Unix.sleepf
+            (backoff_delay_s ~seed:t.config.retry_seed
+               ~base_ms:t.config.retry_base_ms ~attempt);
+          go (attempt + 1)
+        end
+    in
+    go 0
+
+  let check_budgets t =
+    let c = t.config in
+    if c.edge_budget > 0 && t.metrics.Metrics.edges_added > c.edge_budget then
+      raise
+        (Budget_exhausted
+           (Printf.sprintf "edge budget exhausted (%d > %d)"
+              t.metrics.Metrics.edges_added c.edge_budget));
+    if
+      c.wall_budget_s > 0. && t.run_start > 0.
+      && Unix.gettimeofday () -. t.run_start > c.wall_budget_s
+    then
+      raise
+        (Budget_exhausted
+           (Printf.sprintf "wall-clock budget exhausted (%.3fs)" c.wall_budget_s))
 
   (* ---------------- feasibility with memoization ---------------- *)
 
@@ -240,10 +310,13 @@ module Make (L : LABEL_LOGIC) = struct
       label = L.of_int r.Storage.label; enc = r.Storage.enc }
 
   let load t (meta : pmeta) : loaded =
-    let raw, bytes =
-      Metrics.time t.metrics `Io (fun () -> Storage.read_file ~path:meta.path)
+    let outcome =
+      Metrics.time t.metrics `Io (fun () ->
+          with_retries t (fun () -> Storage.read_file ~path:meta.path))
     in
-    t.metrics.Metrics.bytes_read <- t.metrics.Metrics.bytes_read + bytes;
+    let raw = outcome.Storage.edges in
+    t.metrics.Metrics.bytes_read <-
+      t.metrics.Metrics.bytes_read + outcome.Storage.bytes;
     let l =
       { meta; all = []; by_src = Hashtbl.create 1024;
         by_dst = Hashtbl.create 1024; present = Hashtbl.create 4096;
@@ -271,6 +344,18 @@ module Make (L : LABEL_LOGIC) = struct
         end)
       raw;
     if l.count <> n_raw then l.dirty <- true;  (* appended duplicates *)
+    (match outcome.Storage.corrupt with
+    | None -> ()
+    | Some c ->
+        (* the valid prefix survives; mark dirty so the next flush rewrites
+           the repaired file.  Any record lost with the damaged tail is
+           rederived when the pair is reprocessed (the checkpoint manifest
+           predates the damage). *)
+        Logs.warn (fun k ->
+            k "partition %s: %a — kept %d-record prefix"
+              (Filename.basename meta.path) Storage.pp_corruption c l.count);
+        t.metrics.Metrics.corrupt_reads <- t.metrics.Metrics.corrupt_reads + 1;
+        l.dirty <- true);
     l
 
   (* Insert an edge into a loaded partition; true if it is new.  An edge is
@@ -308,7 +393,8 @@ module Make (L : LABEL_LOGIC) = struct
     let write_meta (meta : pmeta) edges =
       let bytes =
         Metrics.time t.metrics `Io (fun () ->
-            Storage.write_file ~path:meta.path (List.rev_map to_raw edges))
+            with_retries t (fun () ->
+                Storage.write_file ~path:meta.path (List.rev_map to_raw edges)))
       in
       t.metrics.Metrics.bytes_written <- t.metrics.Metrics.bytes_written + bytes;
       meta.approx_edges <- List.length edges
@@ -413,7 +499,8 @@ module Make (L : LABEL_LOGIC) = struct
         in
         let bytes =
           Metrics.time t.metrics `Io (fun () ->
-              Storage.write_file ~path:meta.path (List.map to_raw edges))
+              with_retries t (fun () ->
+                  Storage.write_file ~path:meta.path (List.map to_raw edges)))
         in
         t.metrics.Metrics.bytes_written <-
           t.metrics.Metrics.bytes_written + bytes;
@@ -539,6 +626,9 @@ module Make (L : LABEL_LOGIC) = struct
     in
     Metrics.time m `Join (fun () ->
         while not (Queue.is_empty queue) do
+          (* budgets are polled per batch so a runaway pair cannot exceed
+             its allowance by more than one batch of work *)
+          check_budgets t;
           let drained = ref 0 in
           while (not (Queue.is_empty queue)) && !drained < batch_size do
             incr drained;
@@ -580,8 +670,9 @@ module Make (L : LABEL_LOGIC) = struct
         | Some meta ->
             let bytes =
               Metrics.time t.metrics `Io (fun () ->
-                  Storage.append_file ~path:meta.path
-                    (List.map to_raw !edges))
+                  with_retries t (fun () ->
+                      Storage.append_file ~path:meta.path
+                        (List.map to_raw !edges)))
             in
             t.metrics.Metrics.bytes_written <-
               t.metrics.Metrics.bytes_written + bytes;
@@ -604,12 +695,76 @@ module Make (L : LABEL_LOGIC) = struct
     List.iter (fun l -> flush t l) loadeds;
     flush_external t !pending
 
-  (* Run to global fixpoint. *)
-  let run t =
+  (* ---------------- checkpointing ---------------- *)
+
+  (* Persist partition metadata and the scheduler frontier.  Called after
+     every completed pair, *after* that pair's partitions and routed appends
+     are durable, so a validating manifest never references state newer than
+     the files.  (The converse — files newer than the manifest — is safe:
+     the missed pair is simply reprocessed, and reprocessing is idempotent
+     because loads and inserts deduplicate.)  The crash-at-checkpoint fault
+     hook fires after the save: the manifest is durable at that instant,
+     which is exactly the boundary [--resume] guarantees byte-identical
+     results from. *)
+  let checkpoint t (processed : (int * int, int * int) Hashtbl.t) =
+    let parts =
+      List.map
+        (fun p ->
+          { Manifest.pid = p.pid; lo = p.lo; hi = p.hi; version = p.version;
+            approx_edges = p.approx_edges; file = Filename.basename p.path })
+        t.parts
+    in
+    let frontier =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) processed []
+      |> List.sort compare
+    in
+    let m =
+      { Manifest.next_pid = t.next_pid; max_vertex = t.max_vertex;
+        n_seed_edges = t.n_seed_edges; parts; processed = frontier }
+    in
+    Metrics.time t.metrics `Io (fun () ->
+        with_retries t (fun () -> Manifest.save ~workdir:t.config.workdir m));
+    Faults.on_checkpoint ()
+
+  (* Restore partition metadata and the scheduler frontier from the last
+     checkpoint; false when there is none (or it failed validation). *)
+  let try_restore t (processed : (int * int, int * int) Hashtbl.t) : bool =
+    match with_retries t (fun () -> Manifest.load ~workdir:t.config.workdir) with
+    | None -> false
+    | Some m ->
+        t.parts <-
+          List.map
+            (fun (p : Manifest.part) ->
+              { pid = p.Manifest.pid; lo = p.Manifest.lo; hi = p.Manifest.hi;
+                path = Filename.concat t.config.workdir p.Manifest.file;
+                version = p.Manifest.version;
+                approx_edges = p.Manifest.approx_edges })
+            m.Manifest.parts
+          |> List.sort (fun a b -> compare a.lo b.lo);
+        t.next_pid <- m.Manifest.next_pid;
+        t.max_vertex <- max t.max_vertex m.Manifest.max_vertex;
+        t.n_seed_edges <- m.Manifest.n_seed_edges;
+        t.seeds <- [];  (* the partitions already hold the preprocessed seeds *)
+        List.iter (fun (k, v) -> Hashtbl.replace processed k v)
+          m.Manifest.processed;
+        true
+
+  (* Run to global fixpoint.  With [~resume:true], continue from the
+     workdir's checkpoint manifest when one validates (fresh run
+     otherwise): partitions and frontier are restored and only pairs whose
+     versions advanced since the checkpoint are (re)processed.  The closure
+     is confluent — facts accumulate monotonically and deduplicate — so a
+     resumed run converges to the same fixpoint as an uninterrupted one. *)
+  let run ?(resume = false) t =
     if t.ran then invalid_arg "Engine.run: already ran";
     t.ran <- true;
-    preprocess t;
+    t.run_start <- Unix.gettimeofday ();
     let processed : (int * int, int * int) Hashtbl.t = Hashtbl.create 256 in
+    let restored = resume && try_restore t processed in
+    if not restored then begin
+      preprocess t;
+      checkpoint t processed
+    end;
     let continue = ref true in
     while !continue do
       continue := false;
@@ -638,7 +793,9 @@ module Make (L : LABEL_LOGIC) = struct
                       | Some q -> q.version
                       | None -> -1
                     in
-                    Hashtbl.replace processed key (cur pa, cur pb)
+                    Hashtbl.replace processed key (cur pa, cur pb);
+                    checkpoint t processed;
+                    check_budgets t
                   end
                 end
               end)
@@ -666,5 +823,12 @@ module Make (L : LABEL_LOGIC) = struct
 
   (* Delete the working directory contents created by this engine. *)
   let cleanup t =
-    List.iter (fun p -> Storage.remove_file ~path:p.path) t.parts
+    List.iter
+      (fun p ->
+        Storage.remove_file ~path:p.path;
+        Storage.remove_file ~path:(p.path ^ ".tmp"))
+      t.parts;
+    let manifest = Manifest.path ~workdir:t.config.workdir in
+    Storage.remove_file ~path:manifest;
+    Storage.remove_file ~path:(manifest ^ ".tmp")
 end

@@ -1,0 +1,185 @@
+(* Deterministic fault injection for the storage layer.
+
+   A fault plan is a seeded description of which storage operations fail and
+   how.  The plan is installed process-wide; the storage primitives consult
+   it at each operation, so every layer above (engine retries, pipeline
+   supervision, checkpoint/resume) can be exercised against reproducible
+   failures.  Two classes of injected event:
+
+   - [Injected] simulates a recoverable operation failure (EIO, ENOSPC, a
+     torn write): the retry machinery is expected to absorb it.
+   - [Crash] simulates the process being killed at a crash point (around a
+     rename, or at a checkpoint boundary): nothing may catch it except a
+     test harness standing in for process supervision; recovery happens via
+     [--resume] in a fresh run.
+
+   All decisions are pure functions of (seed, per-kind operation counter),
+   so a plan replays identically across runs. *)
+
+type kind =
+  | Fail_read             (* raise before any bytes are read *)
+  | Fail_write            (* raise before any bytes are written *)
+  | Short_write           (* persist a truncated temp file, then raise *)
+  | Crash_before_rename   (* kill between temp write and publish *)
+  | Crash_after_rename    (* kill just after publish *)
+  | Crash_checkpoint      (* kill at a checkpoint boundary *)
+
+type directive =
+  | Nth of kind * int  (* fire on the Nth operation of the matching class *)
+  | Rate of float      (* fail reads/writes with this seeded probability *)
+
+type plan = {
+  seed : int;
+  directives : directive list;
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_renames : int;
+  mutable n_checkpoints : int;
+  mutable n_injected : int;  (* Injected faults fired (crashes excluded) *)
+}
+
+exception Injected of string
+exception Crash of string
+
+let make ?(seed = 1) directives =
+  { seed; directives; n_reads = 0; n_writes = 0; n_renames = 0;
+    n_checkpoints = 0; n_injected = 0 }
+
+(* ---------------- plan syntax ----------------
+
+   Comma-separated [key=value] directives, e.g.
+     "seed=42,rate=0.05"
+     "fail-write=3,short-write=5,crash-checkpoint=2"                       *)
+
+let parse (spec : string) : plan =
+  let seed = ref 1 and directives = ref [] in
+  let fail fmt = Printf.ksprintf invalid_arg ("Faults.parse: " ^^ fmt) in
+  String.split_on_char ',' spec
+  |> List.iter (fun item ->
+         let item = String.trim item in
+         if item <> "" then
+           match String.index_opt item '=' with
+           | None -> fail "missing '=' in %S" item
+           | Some i ->
+               let key = String.sub item 0 i in
+               let value = String.sub item (i + 1) (String.length item - i - 1) in
+               let int_v () =
+                 match int_of_string_opt value with
+                 | Some n when n > 0 -> n
+                 | _ -> fail "%s wants a positive integer, got %S" key value
+               in
+               (match key with
+               | "seed" -> seed := int_v ()
+               | "rate" -> (
+                   match float_of_string_opt value with
+                   | Some r when r >= 0. && r <= 1. ->
+                       directives := Rate r :: !directives
+                   | _ -> fail "rate wants a float in [0, 1], got %S" value)
+               | "fail-read" -> directives := Nth (Fail_read, int_v ()) :: !directives
+               | "fail-write" -> directives := Nth (Fail_write, int_v ()) :: !directives
+               | "short-write" -> directives := Nth (Short_write, int_v ()) :: !directives
+               | "crash-before-rename" ->
+                   directives := Nth (Crash_before_rename, int_v ()) :: !directives
+               | "crash-after-rename" ->
+                   directives := Nth (Crash_after_rename, int_v ()) :: !directives
+               | "crash-checkpoint" ->
+                   directives := Nth (Crash_checkpoint, int_v ()) :: !directives
+               | _ -> fail "unknown directive %S" key));
+  make ~seed:!seed (List.rev !directives)
+
+(* ---------------- the installed plan ---------------- *)
+
+let active : plan option ref = ref None
+let install p = active := Some p
+let clear () = active := None
+
+let injected_count () =
+  match !active with Some p -> p.n_injected | None -> 0
+
+(* ---------------- deterministic decisions ---------------- *)
+
+(* splitmix-style avalanche of (seed, stream tag, counter); also used by the
+   retry backoff for its seeded jitter *)
+let mix3 a b c =
+  let z = (a * 0x9E3779B1) + (b * 0x85EBCA6B) + (c * 0xC2B2AE35) in
+  let z = (z lxor (z lsr 15)) * 0x2545F491 in
+  let z = (z lxor (z lsr 13)) * 0x5EB2D8C1 in
+  (z lxor (z lsr 16)) land 0x3FFFFFFF
+
+let rate_of p =
+  List.fold_left
+    (fun acc d -> match d with Rate r -> Float.max acc r | Nth _ -> acc)
+    0. p.directives
+
+let rate_hit p ~stream ~count =
+  let r = rate_of p in
+  r > 0. && float_of_int (mix3 p.seed stream count mod 1_000_000) < r *. 1_000_000.
+
+let nth_hit p kind count =
+  List.exists
+    (function Nth (k, n) -> k = kind && n = count | Rate _ -> false)
+    p.directives
+
+let inject p msg =
+  p.n_injected <- p.n_injected + 1;
+  raise (Injected msg)
+
+(* ---------------- hooks called by the storage layer ---------------- *)
+
+let on_read ~path =
+  match !active with
+  | None -> ()
+  | Some p ->
+      p.n_reads <- p.n_reads + 1;
+      if nth_hit p Fail_read p.n_reads || rate_hit p ~stream:1 ~count:p.n_reads
+      then
+        inject p
+          (Printf.sprintf "injected read fault #%d on %s" p.n_reads
+             (Filename.basename path))
+
+(* [`Short] instructs the caller to persist only a truncated prefix of the
+   temp file and then fail, simulating a write torn by ENOSPC or a crash. *)
+let on_write ~path : [ `Ok | `Short ] =
+  match !active with
+  | None -> `Ok
+  | Some p ->
+      p.n_writes <- p.n_writes + 1;
+      let name = Filename.basename path in
+      if nth_hit p Fail_write p.n_writes then
+        inject p (Printf.sprintf "injected write fault #%d on %s" p.n_writes name)
+      else if nth_hit p Short_write p.n_writes then `Short
+      else if rate_hit p ~stream:2 ~count:p.n_writes then
+        if mix3 p.seed 3 p.n_writes land 1 = 0 then
+          inject p
+            (Printf.sprintf "injected write fault #%d on %s" p.n_writes name)
+        else `Short
+      else `Ok
+
+let before_rename ~path =
+  match !active with
+  | None -> ()
+  | Some p ->
+      p.n_renames <- p.n_renames + 1;
+      if nth_hit p Crash_before_rename p.n_renames then
+        raise
+          (Crash
+             (Printf.sprintf "crash before rename #%d of %s" p.n_renames
+                (Filename.basename path)))
+
+let after_rename ~path =
+  match !active with
+  | None -> ()
+  | Some p ->
+      if nth_hit p Crash_after_rename p.n_renames then
+        raise
+          (Crash
+             (Printf.sprintf "crash after rename #%d of %s" p.n_renames
+                (Filename.basename path)))
+
+let on_checkpoint () =
+  match !active with
+  | None -> ()
+  | Some p ->
+      p.n_checkpoints <- p.n_checkpoints + 1;
+      if nth_hit p Crash_checkpoint p.n_checkpoints then
+        raise (Crash (Printf.sprintf "crash at checkpoint #%d" p.n_checkpoints))

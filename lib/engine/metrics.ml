@@ -16,13 +16,16 @@ type t = {
   mutable repartitions : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  mutable retries : int;              (* storage ops retried after a fault *)
+  mutable corrupt_reads : int;        (* reads recovered from a damaged tail *)
 }
 
 let create () =
   { io_s = 0.; decode_s = 0.; solve_s = 0.; join_s = 0.;
     constraints_solved = 0; cache_lookups = 0; cache_hits = 0;
     edges_added = 0; edges_considered = 0; pairs_processed = 0;
-    repartitions = 0; bytes_read = 0; bytes_written = 0 }
+    repartitions = 0; bytes_read = 0; bytes_written = 0;
+    retries = 0; corrupt_reads = 0 }
 
 let time (m : t) (field : [ `Io | `Decode | `Solve | `Join ]) f =
   let t0 = Unix.gettimeofday () in

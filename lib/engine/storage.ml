@@ -1,43 +1,151 @@
 (* On-disk edge storage for partitions.  A partition file is a flat sequence
-   of records: varint source, varint destination, varint label code, then the
-   edge's path encoding in [Encoding] wire format.  Files are written
-   buffered and read back in one slurp: the engine's access pattern is
-   strictly sequential (paper §4.3: "most edge accesses are sequential"). *)
+   of self-validating records:
+
+     varint payload-length | payload | varint FNV-1a-32(payload)
+
+   where the payload is varint source, varint destination, varint label
+   code, then the edge's path encoding in [Encoding] wire format.  Files are
+   written buffered and read back in one slurp: the engine's access pattern
+   is strictly sequential (paper §4.3: "most edge accesses are sequential").
+
+   Crash safety:
+   - every write (including appends) goes through write-temp-then-rename, so
+     a crash at any instant leaves either the old file or the new file, never
+     a torn mixture;
+   - [read_file] never raises on damaged data: the length prefix bounds every
+     record parse, the checksum catches bit damage, and the result carries
+     the longest valid prefix plus a typed corruption marker, so the engine
+     can fall back to the last checkpoint instead of dying mid-parse.
+
+   All operations pass through the [Faults] hooks so a seeded fault plan can
+   deterministically fail, truncate, or crash them. *)
 
 module Encoding = Pathenc.Encoding
 
 type raw_edge = { src : int; dst : int; label : int; enc : Encoding.t }
 
-let write_edge buf (e : raw_edge) =
-  Encoding.add_varint buf e.src;
-  Encoding.add_varint buf e.dst;
-  Encoding.add_varint buf e.label;
-  Encoding.write buf e.enc
+type corruption =
+  | Truncated of int          (* byte offset of the torn trailing record *)
+  | Checksum_mismatch of int  (* byte offset of the damaged record *)
+
+(* The result of reading a file: the longest prefix of intact records (all
+   of them when [corrupt = None]) and the file's size in bytes. *)
+type read_outcome = {
+  edges : raw_edge list;
+  bytes : int;
+  corrupt : corruption option;
+}
+
+let pp_corruption ppf = function
+  | Truncated off -> Fmt.pf ppf "truncated record at byte %d" off
+  | Checksum_mismatch off -> Fmt.pf ppf "checksum mismatch at byte %d" off
+
+(* FNV-1a, 32-bit *)
+let fnv32 (b : Bytes.t) ~pos ~len =
+  let h = ref 0x811C9DC5 in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+let checksum_string (s : string) : int =
+  fnv32 (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let write_edge buf (e : raw_edge) scratch =
+  Buffer.clear scratch;
+  Encoding.add_varint scratch e.src;
+  Encoding.add_varint scratch e.dst;
+  Encoding.add_varint scratch e.label;
+  Encoding.write scratch e.enc;
+  let payload = Buffer.to_bytes scratch in
+  let plen = Bytes.length payload in
+  Encoding.add_varint buf plen;
+  Buffer.add_bytes buf payload;
+  Encoding.add_varint buf (fnv32 payload ~pos:0 ~len:plen)
 
 let edges_to_buffer (edges : raw_edge list) : Buffer.t =
   let buf = Buffer.create 65536 in
-  List.iter (write_edge buf) edges;
+  let scratch = Buffer.create 256 in
+  List.iter (fun e -> write_edge buf e scratch) edges;
   buf
+
+(* Atomically replace [path] with [contents]: write a sibling temp file,
+   then rename over the target.  POSIX rename is atomic, so a crash leaves
+   either the complete old contents or the complete new contents.  An
+   injected [`Short] write persists only half the temp file and fails —
+   the target is untouched, and the next successful write overwrites the
+   garbage temp file. *)
+let atomic_write ~path (contents : string) : unit =
+  let tmp = path ^ ".tmp" in
+  (match Faults.on_write ~path with
+  | `Ok ->
+      let oc = open_out_bin tmp in
+      output_string oc contents;
+      close_out oc
+  | `Short ->
+      let oc = open_out_bin tmp in
+      output_string oc (String.sub contents 0 (String.length contents / 2));
+      close_out oc;
+      raise
+        (Faults.Injected
+           (Printf.sprintf "injected short write on %s" (Filename.basename path))));
+  Faults.before_rename ~path;
+  Sys.rename tmp path;
+  Faults.after_rename ~path
+
+let write_string_atomic ~path (contents : string) : unit =
+  atomic_write ~path contents
 
 (* Replace the file contents with [edges]; returns bytes written. *)
 let write_file ~path (edges : raw_edge list) : int =
   let buf = edges_to_buffer edges in
-  let oc = open_out_bin path in
-  Buffer.output_buffer oc buf;
-  close_out oc;
+  atomic_write ~path (Buffer.contents buf);
   Buffer.length buf
 
-(* Append [edges]; returns bytes written. *)
-let append_file ~path (edges : raw_edge list) : int =
-  let buf = edges_to_buffer edges in
-  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  Buffer.output_buffer oc buf;
-  close_out oc;
-  Buffer.length buf
+(* Parse one record starting at [!pos].  Every access is bounded by the
+   length prefix, and the payload decode happens on a [Bytes.sub] slice so a
+   lying length can never walk past the record, let alone the file. *)
+let parse_record bytes pos len :
+    [ `Edge of raw_edge | `Truncated | `Corrupt ] =
+  let start = !pos in
+  match
+    let plen = Encoding.read_varint bytes pos in
+    if plen < 0 || !pos + plen > len then raise Exit;
+    let payload = Bytes.sub bytes !pos plen in
+    pos := !pos + plen;
+    let sum = Encoding.read_varint bytes pos in
+    (payload, plen, sum)
+  with
+  | exception _ ->
+      (* ran off the end of the file inside the record: a torn tail *)
+      pos := start;
+      `Truncated
+  | payload, plen, sum ->
+      if fnv32 payload ~pos:0 ~len:plen <> sum then begin
+        pos := start;
+        `Corrupt
+      end
+      else begin
+        match
+          let p = ref 0 in
+          let src = Encoding.read_varint payload p in
+          let dst = Encoding.read_varint payload p in
+          let label = Encoding.read_varint payload p in
+          let enc = Encoding.read payload p in
+          if !p <> plen then raise Exit;
+          { src; dst; label; enc }
+        with
+        | exception _ ->
+            pos := start;
+            `Corrupt
+        | e -> `Edge e
+      end
 
-(* Read every record; returns the edges in file order and the byte size. *)
-let read_file ~path : raw_edge list * int =
-  if not (Sys.file_exists path) then ([], 0)
+(* Read every intact record; stops (without raising) at the first truncated
+   or damaged one and reports it. *)
+let read_file ~path : read_outcome =
+  Faults.on_read ~path;
+  if not (Sys.file_exists path) then { edges = []; bytes = 0; corrupt = None }
   else begin
     let ic = open_in_bin path in
     let len = in_channel_length ic in
@@ -46,14 +154,29 @@ let read_file ~path : raw_edge list * int =
     close_in ic;
     let pos = ref 0 in
     let acc = ref [] in
-    while !pos < len do
-      let src = Encoding.read_varint bytes pos in
-      let dst = Encoding.read_varint bytes pos in
-      let label = Encoding.read_varint bytes pos in
-      let enc = Encoding.read bytes pos in
-      acc := { src; dst; label; enc } :: !acc
+    let corrupt = ref None in
+    while !pos < len && !corrupt = None do
+      match parse_record bytes pos len with
+      | `Edge e -> acc := e :: !acc
+      | `Truncated -> corrupt := Some (Truncated !pos)
+      | `Corrupt -> corrupt := Some (Checksum_mismatch !pos)
     done;
-    (List.rev !acc, len)
+    { edges = List.rev !acc; bytes = len; corrupt = !corrupt }
   end
+
+(* Append [edges]; returns the serialized size of the appended edges.
+   A raw O_APPEND append is not crash-safe (a crash mid-append leaves a torn
+   tail whose later repair would silently drop any records appended behind
+   it), so appends read the current valid prefix and atomically rewrite the
+   whole file.  This costs a file-sized copy per append but makes appends
+   idempotent under retry, which checkpoint recovery relies on. *)
+let append_file ~path (edges : raw_edge list) : int =
+  let existing = read_file ~path in
+  let buf = edges_to_buffer existing.edges in
+  let appended_from = Buffer.length buf in
+  let scratch = Buffer.create 256 in
+  List.iter (fun e -> write_edge buf e scratch) edges;
+  atomic_write ~path (Buffer.contents buf);
+  Buffer.length buf - appended_from
 
 let remove_file ~path = if Sys.file_exists path then Sys.remove path

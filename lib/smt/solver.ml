@@ -23,6 +23,7 @@ type stats = {
   mutable unknown_answers : int;
   mutable theory_checks : int;
   mutable sat_rounds : int;
+  mutable budget_hits : int;  (* DPLL(T) round budget exhausted -> Unknown *)
 }
 
 let stats = {
@@ -32,6 +33,7 @@ let stats = {
   unknown_answers = 0;
   theory_checks = 0;
   sat_rounds = 0;
+  budget_hits = 0;
 }
 
 let reset_stats () =
@@ -40,9 +42,23 @@ let reset_stats () =
   stats.unsat_answers <- 0;
   stats.unknown_answers <- 0;
   stats.theory_checks <- 0;
-  stats.sat_rounds <- 0
+  stats.sat_rounds <- 0;
+  stats.budget_hits <- 0
 
 let max_dpllt_rounds = 10_000
+
+(* The DPLL(T) decision budget: how many SAT-model/theory-conflict rounds a
+   single [check] may spend before giving up with [Unknown].  Exposed as
+   [--smt-budget] on the CLI.  Exhausting it is *sound* for the analysis:
+   every caller in the engine and the pre-filters treats [Unknown] exactly
+   like [Sat] (the path is assumed feasible), so a tighter budget can only
+   over-approximate — it may admit an infeasible path (a potential false
+   positive), never suppress a feasible one (no missed bugs).  The same
+   over-approximation argument appears at [check_with_model]'s
+   reconstruction fallback below. *)
+let round_budget = ref max_dpllt_rounds
+
+let set_budget n = round_budget := if n <= 0 then max_dpllt_rounds else n
 
 (* Collect the conjuncts of a purely conjunctive NNF formula, or return
    [None] if a disjunction occurs. *)
@@ -142,8 +158,8 @@ let solve_with_skeleton (f : Formula.t) : result =
   let sat = Sat.create ~nvars:sk.nvars in
   List.iter (Sat.add_clause sat) sk.clauses;
   let rec loop rounds =
-    if rounds > max_dpllt_rounds then begin
-      stats.unknown_answers <- stats.unknown_answers + 1;
+    if rounds > !round_budget then begin
+      stats.budget_hits <- stats.budget_hits + 1;
       Unknown
     end
     else begin
@@ -191,7 +207,11 @@ let is_sat f = match check f with Sat | Unknown -> true | Unsat -> false
 (* Like [check], additionally producing a verified integer witness when the
    formula is satisfiable.  The witness is checked by evaluation; if the
    reconstruction fails (integer gaps, solver budget), the formula is still
-   reported satisfiable but without a model. *)
+   reported satisfiable but without a model.  Soundness under budgets: both
+   this fallback and the [round_budget] cut above degrade toward "assume
+   feasible" ([Unknown] is read as [Sat] everywhere downstream), so running
+   out of budget can cost precision (an extra warning, a missing witness)
+   but never a missed bug. *)
 let check_with_model (f : Formula.t) : model_result =
   let verify model =
     let value v =

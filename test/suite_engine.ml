@@ -65,9 +65,11 @@ let test_storage_roundtrip () =
         enc = [ E.Call 5; E.Ret 5 ] } ]
   in
   let _ = Engine.Storage.write_file ~path edges in
-  let back, _bytes = Engine.Storage.read_file ~path in
-  Alcotest.(check int) "count" 2 (List.length back);
-  Alcotest.(check bool) "contents equal" true (back = edges)
+  let outcome = Engine.Storage.read_file ~path in
+  Alcotest.(check int) "count" 2 (List.length outcome.Engine.Storage.edges);
+  Alcotest.(check bool) "contents equal" true
+    (outcome.Engine.Storage.edges = edges);
+  Alcotest.(check bool) "intact" true (outcome.Engine.Storage.corrupt = None)
 
 let test_storage_append () =
   let dir = fresh_workdir () in
@@ -75,13 +77,13 @@ let test_storage_append () =
   let e n = { Engine.Storage.src = n; dst = n + 1; label = 1; enc = [] } in
   let _ = Engine.Storage.write_file ~path [ e 1 ] in
   let _ = Engine.Storage.append_file ~path [ e 2; e 3 ] in
-  let back, _ = Engine.Storage.read_file ~path in
+  let back = (Engine.Storage.read_file ~path).Engine.Storage.edges in
   Alcotest.(check int) "three records" 3 (List.length back)
 
 let test_storage_missing_file () =
-  let back, bytes = Engine.Storage.read_file ~path:"/nonexistent/nowhere.bin" in
-  Alcotest.(check int) "no edges" 0 (List.length back);
-  Alcotest.(check int) "no bytes" 0 bytes
+  let outcome = Engine.Storage.read_file ~path:"/nonexistent/nowhere.bin" in
+  Alcotest.(check int) "no edges" 0 (List.length outcome.Engine.Storage.edges);
+  Alcotest.(check int) "no bytes" 0 outcome.Engine.Storage.bytes
 
 (* ---------------- closure without constraints ---------------- *)
 

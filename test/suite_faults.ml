@@ -1,0 +1,441 @@
+(* Tests for the fault-tolerance layer (ISSUE 3): crash-safe storage
+   (atomic writes, checksummed records, typed corruption results),
+   checkpoint/resume determinism, per-instance budgets with graceful
+   degradation, retry counters, and the SMT round budget. *)
+
+module E = Pathenc.Encoding
+module Pg = Cfl.Pointer_grammar
+module AEngine = Engine.Make (Cfl.Pointer_grammar)
+module Faults = Engine.Faults
+module Storage = Engine.Storage
+module Manifest = Engine.Manifest
+
+let fresh_workdir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "grapple-test-faults-%d-%d" (Unix.getpid ()) !counter)
+    in
+    Engine.ensure_dir dir;
+    dir
+
+(* Install [spec] for the duration of [f] only: a leaked plan would inject
+   faults into every later test. *)
+let with_plan spec f =
+  Faults.install (Faults.parse spec);
+  Fun.protect ~finally:Faults.clear f
+
+let mk_edge ?(label = 0) src dst =
+  { Storage.src; dst; label;
+    enc = [ E.Interval { meth = 0; first = 0; last = src land 3 } ] }
+
+let edges n = List.init n (fun i -> mk_edge i (i + 1))
+
+let read_edges path = (Storage.read_file ~path).Storage.edges
+
+(* ---------------- fault-plan parsing ---------------- *)
+
+let test_plan_parse () =
+  let p = Faults.parse "seed=42,rate=0.05,fail-write=3,crash-checkpoint=2" in
+  Alcotest.(check int) "seed" 42 p.Faults.seed;
+  Alcotest.(check int) "directives" 3 (List.length p.Faults.directives);
+  Alcotest.check_raises "unknown key"
+    (Invalid_argument "Faults.parse: unknown directive \"bogus\"") (fun () ->
+      ignore (Faults.parse "bogus=1"));
+  (match Faults.parse "rate=1.5" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rate out of range accepted")
+
+(* ---------------- storage: torn and damaged files ---------------- *)
+
+let test_read_truncated () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "t.edges" in
+  let all = edges 3 in
+  let bytes = Storage.write_file ~path all in
+  (* chop 2 bytes off the trailing record *)
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub contents 0 (bytes - 2)));
+  let outcome = Storage.read_file ~path in
+  Alcotest.(check int) "valid prefix" 2 (List.length outcome.Storage.edges);
+  Alcotest.(check bool) "prefix contents" true
+    (outcome.Storage.edges = [ List.nth all 0; List.nth all 1 ]);
+  (match outcome.Storage.corrupt with
+  | Some (Storage.Truncated _) -> ()
+  | other ->
+      Alcotest.failf "expected Truncated, got %s"
+        (match other with
+        | None -> "None"
+        | Some c -> Fmt.str "%a" Storage.pp_corruption c))
+
+let test_read_corrupted () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "c.edges" in
+  let all = edges 3 in
+  let _ = Storage.write_file ~path all in
+  (* flip one byte inside the *middle* record's payload *)
+  let contents =
+    Bytes.of_string (In_channel.with_open_bin path In_channel.input_all)
+  in
+  let one = Storage.write_file ~path:(path ^ ".one") [ List.hd all ] in
+  Storage.remove_file ~path:(path ^ ".one");
+  let off = one + 2 in
+  Bytes.set contents off (Char.chr (Char.code (Bytes.get contents off) lxor 0xff));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc contents);
+  let outcome = Storage.read_file ~path in
+  Alcotest.(check int) "valid prefix" 1 (List.length outcome.Storage.edges);
+  (match outcome.Storage.corrupt with
+  | Some (Storage.Checksum_mismatch o) ->
+      Alcotest.(check int) "damage offset" one o
+  | other ->
+      Alcotest.failf "expected Checksum_mismatch, got %s"
+        (match other with
+        | None -> "None"
+        | Some c -> Fmt.str "%a" Storage.pp_corruption c))
+
+(* ---------------- storage: crash-point matrix for atomic writes -------- *)
+
+let test_crash_before_rename () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "a.edges" in
+  let v1 = edges 2 in
+  let _ = Storage.write_file ~path v1 in
+  (match
+     with_plan "crash-before-rename=1" (fun () ->
+         Storage.write_file ~path (edges 5))
+   with
+  | _ -> Alcotest.fail "crash point did not fire"
+  | exception Faults.Crash _ -> ());
+  let outcome = Storage.read_file ~path in
+  Alcotest.(check bool) "old contents intact" true (outcome.Storage.edges = v1);
+  Alcotest.(check bool) "no corruption" true (outcome.Storage.corrupt = None)
+
+let test_crash_after_rename () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "b.edges" in
+  let _ = Storage.write_file ~path (edges 2) in
+  let v2 = edges 5 in
+  (match
+     with_plan "crash-after-rename=1" (fun () -> Storage.write_file ~path v2)
+   with
+  | _ -> Alcotest.fail "crash point did not fire"
+  | exception Faults.Crash _ -> ());
+  let outcome = Storage.read_file ~path in
+  Alcotest.(check bool) "new contents published" true
+    (outcome.Storage.edges = v2);
+  Alcotest.(check bool) "no corruption" true (outcome.Storage.corrupt = None)
+
+let test_short_write_leaves_target () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "s.edges" in
+  let v1 = edges 2 in
+  let _ = Storage.write_file ~path v1 in
+  (match
+     with_plan "short-write=1" (fun () -> Storage.write_file ~path (edges 6))
+   with
+  | _ -> Alcotest.fail "short write did not fire"
+  | exception Faults.Injected _ -> ());
+  Alcotest.(check bool) "target untouched" true (read_edges path = v1);
+  (* the next clean write overwrites the garbage temp file *)
+  let v3 = edges 4 in
+  let _ = Storage.write_file ~path v3 in
+  Alcotest.(check bool) "clean write wins" true (read_edges path = v3)
+
+let test_append_is_crash_safe () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "ap.edges" in
+  let _ = Storage.write_file ~path (edges 2) in
+  (match
+     with_plan "crash-before-rename=1" (fun () ->
+         Storage.append_file ~path [ mk_edge 10 11 ])
+   with
+  | _ -> Alcotest.fail "crash point did not fire"
+  | exception Faults.Crash _ -> ());
+  Alcotest.(check int) "append rolled back whole" 2 (List.length (read_edges path));
+  let _ = Storage.append_file ~path [ mk_edge 10 11 ] in
+  Alcotest.(check int) "retried append lands" 3 (List.length (read_edges path))
+
+(* ---------------- manifest ---------------- *)
+
+let test_manifest_roundtrip () =
+  let workdir = fresh_workdir () in
+  let m =
+    { Manifest.next_pid = 7; max_vertex = 123; n_seed_edges = 45;
+      parts =
+        [ { Manifest.pid = 3; lo = 0; hi = 60; version = 2; approx_edges = 17;
+            file = "p0003.edges" };
+          { Manifest.pid = 5; lo = 60; hi = 124; version = 0; approx_edges = 8;
+            file = "p0005.edges" } ];
+      processed = [ ((3, 3), (2, 2)); ((3, 5), (1, 0)) ] }
+  in
+  Manifest.save ~workdir m;
+  (match Manifest.load ~workdir with
+  | Some back -> Alcotest.(check bool) "roundtrip" true (back = m)
+  | None -> Alcotest.fail "manifest did not load");
+  (* flip a digit in the body: the whole-file checksum must reject it *)
+  let path = Manifest.path ~workdir in
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let damaged =
+    String.map (fun c -> if c = '7' then '8' else c)
+      (String.sub contents 0 40)
+    ^ String.sub contents 40 (String.length contents - 40)
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc damaged);
+  Alcotest.(check bool) "damaged manifest rejected" true
+    (Manifest.load ~workdir = None);
+  Alcotest.(check bool) "missing manifest" true
+    (Manifest.load ~workdir:(fresh_workdir ()) = None)
+
+(* ---------------- engine under faults ---------------- *)
+
+let true_decode (_ : E.t) = Smt.Formula.True
+
+let mk_engine ?(config_f = fun c -> c) () =
+  let workdir = fresh_workdir () in
+  let config =
+    config_f
+      { (Engine.default_config ~workdir) with
+        Engine.target_partitions = 2;
+        retry_base_ms = 0.01 }
+  in
+  AEngine.create ~config ~decode:true_decode ~workdir ()
+
+let seed_chain t n =
+  AEngine.add_seed t ~src:0 ~dst:1 ~label:Pg.New
+    ~enc:[ E.Interval { meth = 0; first = 0; last = 0 } ];
+  for i = 1 to n - 1 do
+    AEngine.add_seed t ~src:i ~dst:(i + 1) ~label:Pg.Assign
+      ~enc:[ E.Interval { meth = 0; first = 0; last = 0 } ]
+  done
+
+let facts t =
+  AEngine.fold_edges t
+    (fun acc e -> (e.AEngine.src, e.AEngine.dst, Pg.to_int e.AEngine.label) :: acc)
+    []
+  |> List.sort compare
+
+let test_engine_identical_under_rate_faults () =
+  let clean = mk_engine () in
+  seed_chain clean 10;
+  AEngine.run clean;
+  let expect = facts clean in
+  AEngine.cleanup clean;
+  let t =
+    with_plan "seed=5,rate=0.3" (fun () ->
+        let t = mk_engine () in
+        seed_chain t 10;
+        AEngine.run t;
+        Alcotest.(check bool) "faults actually fired" true
+          (Faults.injected_count () > 0);
+        Alcotest.(check bool) "retries recorded" true
+          ((AEngine.metrics t).Engine.Metrics.retries > 0);
+        t)
+  in
+  Alcotest.(check bool) "closure identical" true (facts t = expect);
+  AEngine.cleanup t
+
+let test_engine_resume_equals_fresh () =
+  let clean = mk_engine () in
+  seed_chain clean 12;
+  AEngine.run clean;
+  let expect = facts clean in
+  AEngine.cleanup clean;
+  let workdir = fresh_workdir () in
+  let config =
+    { (Engine.default_config ~workdir) with Engine.target_partitions = 2 }
+  in
+  let t = AEngine.create ~config ~decode:true_decode ~workdir () in
+  seed_chain t 12;
+  (match with_plan "crash-checkpoint=2" (fun () -> AEngine.run t) with
+  | _ -> Alcotest.fail "checkpoint crash did not fire"
+  | exception Faults.Crash _ -> ());
+  Alcotest.(check bool) "manifest durable at crash" true
+    (Sys.file_exists (Manifest.path ~workdir));
+  (* a fresh process resumes from the manifest; its seeds are discarded in
+     favour of the restored partitions *)
+  let t2 = AEngine.create ~config ~decode:true_decode ~workdir () in
+  seed_chain t2 12;
+  AEngine.run ~resume:true t2;
+  Alcotest.(check bool) "resumed closure identical" true (facts t2 = expect);
+  AEngine.cleanup t2
+
+let test_engine_edge_budget () =
+  let t = mk_engine ~config_f:(fun c -> { c with Engine.edge_budget = 1 }) () in
+  seed_chain t 10;
+  match AEngine.run t with
+  | _ -> Alcotest.fail "edge budget did not trip"
+  | exception Engine.Budget_exhausted _ -> AEngine.cleanup t
+
+(* ---------------- pipeline: supervision and degradation ---------------- *)
+
+let leak_src = {|
+class Main {
+  void main(int n) {
+    FileWriter log = new FileWriter();
+    log.write(n);
+    if (n > 10) {
+      log.close();
+    }
+    return;
+  }
+}
+entry Main.main;
+|}
+
+let check_leak ?(config_f = fun c -> c) ?workdir () =
+  let program = Jir.Resolve.parse_exn leak_src in
+  let workdir = match workdir with Some d -> d | None -> fresh_workdir () in
+  let config =
+    config_f
+      { (Grapple.Pipeline.default_config ~workdir) with
+        Grapple.Pipeline.library_throwers = Checkers.Specs.library_throwers;
+        Grapple.Pipeline.engine =
+          { (Engine.default_config ~workdir) with Engine.retry_base_ms = 0.01 } }
+  in
+  let fsm = (Checkers.io ()).Checkers.kind in
+  let fsm = match fsm with `Typestate f -> f | _ -> assert false in
+  let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
+  let pr = Grapple.Pipeline.check_property prepared fsm in
+  let stats = Grapple.Pipeline.stats prepared [ pr ] in
+  (prepared, pr, stats)
+
+let rendered (pr : Grapple.Pipeline.property_result) =
+  String.concat "\n" (List.map Grapple.Report.to_json pr.Grapple.Pipeline.reports)
+
+let test_pipeline_identical_under_rate_faults () =
+  let p0, pr0, _ = check_leak () in
+  let expect = rendered pr0 in
+  Grapple.Pipeline.cleanup p0 [ pr0 ];
+  with_plan "seed=11,rate=0.1" (fun () ->
+      let p, pr, stats = check_leak () in
+      Alcotest.(check string) "warnings identical" expect (rendered pr);
+      Alcotest.(check bool) "faults fired" true
+        (stats.Grapple.Pipeline.n_faults_injected > 0);
+      Alcotest.(check bool) "retries counted" true
+        (stats.Grapple.Pipeline.n_retried > 0);
+      Alcotest.(check int) "nothing degraded" 0
+        stats.Grapple.Pipeline.n_inconclusive;
+      Grapple.Pipeline.cleanup p [ pr ])
+
+let test_pipeline_budget_degrades () =
+  let p, pr, stats =
+    check_leak
+      ~config_f:(fun c ->
+        { c with
+          Grapple.Pipeline.instance_edge_budget = 1;
+          Grapple.Pipeline.max_retries = 0 })
+      ()
+  in
+  (match pr.Grapple.Pipeline.degraded with
+  | Some _ -> ()
+  | None -> Alcotest.fail "instance was not degraded");
+  (match pr.Grapple.Pipeline.reports with
+  | [ { Grapple.Report.kind = Grapple.Report.Inconclusive _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected exactly one Inconclusive report");
+  Alcotest.(check int) "n_inconclusive" 1 stats.Grapple.Pipeline.n_inconclusive;
+  Grapple.Pipeline.cleanup p [ pr ]
+
+let test_pipeline_fault_recovers () =
+  (* op-level retries disabled, so a single injected write failure escalates
+     to the supervisor, which restarts the sub-run from its checkpoint: the
+     instance must be recovered, not degraded, with identical warnings *)
+  let p0, pr0, _ = check_leak () in
+  let expect = rendered pr0 in
+  Grapple.Pipeline.cleanup p0 [ pr0 ];
+  with_plan "fail-write=8" (fun () ->
+      let p, pr, stats =
+        check_leak
+          ~config_f:(fun c ->
+            { c with
+              Grapple.Pipeline.engine =
+                { c.Grapple.Pipeline.engine with Engine.max_retries = 0 } })
+          ()
+      in
+      Alcotest.(check bool) "the fault fired" true
+        (Faults.injected_count () = 1);
+      Alcotest.(check string) "warnings identical" expect (rendered pr);
+      Alcotest.(check int) "nothing degraded" 0
+        stats.Grapple.Pipeline.n_inconclusive;
+      Alcotest.(check bool) "supervisor recovered the sub-run" true
+        (stats.Grapple.Pipeline.n_recovered > 0
+        && stats.Grapple.Pipeline.n_retried > 0);
+      Grapple.Pipeline.cleanup p [ pr ])
+
+let test_pipeline_resume_byte_identical () =
+  let p0, pr0, _ = check_leak () in
+  let expect = rendered pr0 in
+  Grapple.Pipeline.cleanup p0 [ pr0 ];
+  let workdir = fresh_workdir () in
+  let crashed = ref false in
+  (try
+     with_plan "crash-checkpoint=3" (fun () ->
+         ignore (check_leak ~workdir ()))
+   with Faults.Crash _ -> crashed := true);
+  Alcotest.(check bool) "killed at a checkpoint boundary" true !crashed;
+  (* restart in the same workdir with --resume semantics *)
+  let p, pr, _ =
+    check_leak ~workdir
+      ~config_f:(fun c -> { c with Grapple.Pipeline.resume = true })
+      ()
+  in
+  Alcotest.(check string) "report byte-identical" expect (rendered pr);
+  Grapple.Pipeline.cleanup p [ pr ]
+
+(* ---------------- SMT round budget ---------------- *)
+
+let test_smt_budget_sound () =
+  let x () = Smt.Linexpr.var (Smt.Symbol.intern "x") in
+  let c n = Smt.Linexpr.const n in
+  (* (x <= 0 or x >= 2) and x = 1: propositionally satisfiable, every model
+     theory-conflicts, so DPLL(T) needs several rounds to conclude Unsat *)
+  let f =
+    Smt.Formula.and_
+      (Smt.Formula.or_
+         (Smt.Formula.le (x ()) (c 0))
+         (Smt.Formula.ge (x ()) (c 2)))
+      (Smt.Formula.eq (x ()) (c 1))
+  in
+  Alcotest.(check bool) "unbudgeted answer is Unsat" true
+    (Smt.Solver.check f = Smt.Solver.Unsat);
+  let hits0 = Smt.Solver.stats.Smt.Solver.budget_hits in
+  Smt.Solver.set_budget 1;
+  Fun.protect
+    ~finally:(fun () -> Smt.Solver.set_budget 0)
+    (fun () ->
+      let r = Smt.Solver.check f in
+      Alcotest.(check bool) "budgeted answer is Unknown (sound)" true
+        (r = Smt.Solver.Unknown);
+      Alcotest.(check bool) "still treated as feasible" true
+        (Smt.Solver.is_sat f);
+      Alcotest.(check bool) "budget hit counted" true
+        (Smt.Solver.stats.Smt.Solver.budget_hits > hits0))
+
+let suite =
+  [ Alcotest.test_case "fault plan parse" `Quick test_plan_parse;
+    Alcotest.test_case "read truncated tail" `Quick test_read_truncated;
+    Alcotest.test_case "read corrupted record" `Quick test_read_corrupted;
+    Alcotest.test_case "crash before rename" `Quick test_crash_before_rename;
+    Alcotest.test_case "crash after rename" `Quick test_crash_after_rename;
+    Alcotest.test_case "short write leaves target" `Quick
+      test_short_write_leaves_target;
+    Alcotest.test_case "append crash safe" `Quick test_append_is_crash_safe;
+    Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
+    Alcotest.test_case "engine identical under rate faults" `Quick
+      test_engine_identical_under_rate_faults;
+    Alcotest.test_case "engine resume equals fresh" `Quick
+      test_engine_resume_equals_fresh;
+    Alcotest.test_case "engine edge budget trips" `Quick test_engine_edge_budget;
+    Alcotest.test_case "pipeline identical under rate faults" `Quick
+      test_pipeline_identical_under_rate_faults;
+    Alcotest.test_case "pipeline budget degrades" `Quick
+      test_pipeline_budget_degrades;
+    Alcotest.test_case "pipeline fault recovers" `Quick
+      test_pipeline_fault_recovers;
+    Alcotest.test_case "pipeline resume byte identical" `Quick
+      test_pipeline_resume_byte_identical;
+    Alcotest.test_case "smt budget sound" `Quick test_smt_budget_sound ]

@@ -42,7 +42,8 @@ let kinds rs =
       match r.Grapple.Report.kind with
       | Grapple.Report.Leak _ -> "leak"
       | Grapple.Report.Error_state _ -> "error"
-      | Grapple.Report.Unhandled_exception _ -> "exn")
+      | Grapple.Report.Unhandled_exception _ -> "exn"
+      | Grapple.Report.Inconclusive _ -> "inconclusive")
     rs
   |> List.sort compare
 

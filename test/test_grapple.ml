@@ -1,6 +1,15 @@
-(* Test driver: every library has a suite; `dune runtest` runs them all. *)
+(* Test driver: every library has a suite; `dune runtest` runs them all.
+
+   GRAPPLE_FAULT_PLAN (same syntax as `grapple check --fault-plan`) installs
+   a deterministic fault plan for the whole run, so CI can re-run the
+   pipeline suite under injected storage faults and assert that every test
+   still passes with identical warnings. *)
 
 let () =
+  (match Sys.getenv_opt "GRAPPLE_FAULT_PLAN" with
+  | Some spec when String.trim spec <> "" ->
+      Engine.Faults.install (Engine.Faults.parse spec)
+  | _ -> ());
   Alcotest.run "grapple"
     [ ("smt", Suite_smt.suite);
       ("jir", Suite_jir.suite);
@@ -13,5 +22,6 @@ let () =
       ("analysis", Suite_analysis.suite);
       ("interproc", Suite_interproc.suite);
       ("pipeline", Suite_pipeline.suite);
+      ("faults", Suite_faults.suite);
       ("workload", Suite_workload.suite);
       ("baseline", Suite_baseline.suite) ]
