@@ -123,6 +123,23 @@ let fault_plan_arg =
                  (testing the resilience layer; also read from the \
                  GRAPPLE_FAULT_PLAN environment variable)")
 
+let workers_arg =
+  Arg.(value & opt (some int) None
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"worker domains for the phase-2/3 checking instances \
+                 (default: the GRAPPLE_WORKERS environment variable, else \
+                 the machine's recommended domain count).  The report is \
+                 byte-identical at every worker count, and a run \
+                 interrupted at any count can be $(b,--resume)d at any \
+                 other")
+
+let admission_budget_arg =
+  Arg.(value & opt int 0
+       & info [ "admission-budget" ] ~docv:"N"
+           ~doc:"cap on the summed size estimates of checking instances \
+                 running concurrently (0 = unlimited); bounds the peak \
+                 footprint of a parallel run")
+
 let smt_budget_arg =
   Arg.(value & opt int 0
        & info [ "smt-budget" ] ~docv:"N"
@@ -133,7 +150,17 @@ let smt_budget_arg =
 let check_cmd =
   let run file checkers unroll trace json no_prefilter no_summary_prefilter
       workdir_opt resume_opt instance_budget edge_budget max_retries
-      fault_plan smt_budget =
+      fault_plan smt_budget workers_opt admission_budget =
+    let workers =
+      match workers_opt with
+      | Some w -> max 1 w
+      | None -> (
+          match
+            Option.bind (Sys.getenv_opt "GRAPPLE_WORKERS") int_of_string_opt
+          with
+          | Some w -> max 1 w
+          | None -> max 1 (Domain.recommended_domain_count ()))
+    in
     (match
        match fault_plan with
        | Some _ -> fault_plan
@@ -180,10 +207,22 @@ let check_cmd =
             max_retries;
             instance_budget_s = instance_budget;
             instance_edge_budget = edge_budget;
-            resume = resume_opt <> None }
+            resume = resume_opt <> None;
+            workers;
+            admission_budget }
         in
         let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
-        let results, props = Checkers.run_all prepared cs in
+        let results, props, schedule = Checkers.run_all_scheduled prepared cs in
+        (* per-worker schedule summary: stderr only, so stdout stays
+           byte-identical across worker counts *)
+        if workers > 1 then
+          List.iter
+            (fun (s : Grapple.Pipeline.schedule_entry) ->
+              Printf.eprintf
+                "worker %d: instance %s est=%d wall=%.3fs\n"
+                s.Grapple.Pipeline.s_worker s.Grapple.Pipeline.s_instance
+                s.Grapple.Pipeline.s_estimate s.Grapple.Pipeline.s_wall_s)
+            schedule;
         let total = ref 0 in
         List.iter
           (fun (name, reports) ->
@@ -239,7 +278,8 @@ let check_cmd =
     Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ trace_arg
           $ json_arg $ no_prefilter_arg $ no_summary_prefilter_arg
           $ workdir_arg $ resume_arg $ instance_budget_arg $ edge_budget_arg
-          $ max_retries_arg $ fault_plan_arg $ smt_budget_arg)
+          $ max_retries_arg $ fault_plan_arg $ smt_budget_arg $ workers_arg
+          $ admission_budget_arg)
 
 let interproc_arg =
   Arg.(value & flag

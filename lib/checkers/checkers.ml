@@ -65,3 +65,35 @@ let run_all (p : Pipeline.prepared) (cs : t list) :
       cs
   in
   (out, List.rev !props)
+
+(* [run_all] through the parallel instance scheduler: the typestate
+   checkers become one scheduled batch (`--workers N` worker domains), the
+   exception walk — cheap, engine-free — runs in the calling domain.  The
+   per-checker output and property results come back in [cs] order, so the
+   rendered report is byte-identical to [run_all] and to any other worker
+   count. *)
+let run_all_scheduled ?workers (p : Pipeline.prepared) (cs : t list) :
+    (string * Report.t list) list
+    * Pipeline.property_result list
+    * Pipeline.schedule_entry list =
+  let fsms =
+    List.filter_map
+      (fun c ->
+        match c.kind with `Typestate f -> Some f | `Exception_walk -> None)
+      cs
+  in
+  let props, schedule = Pipeline.check_properties ?workers p fsms in
+  let rec assemble cs props =
+    match cs with
+    | [] -> []
+    | c :: rest -> (
+        match c.kind with
+        | `Typestate _ -> (
+            match props with
+            | (pr : Pipeline.property_result) :: tl ->
+                (c.name, pr.Pipeline.reports) :: assemble rest tl
+            | [] -> assert false)
+        | `Exception_walk ->
+            (c.name, Exception_checker.run p) :: assemble rest props)
+  in
+  (assemble cs props, props, schedule)

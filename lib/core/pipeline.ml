@@ -59,6 +59,18 @@ type config = {
   resume : bool;
       (* continue from the checkpoint manifests found in [workdir]
          (`grapple check --resume`); fresh sub-runs where none validate *)
+  workers : int;
+      (* worker domains for the phase-2/3 instance scheduler
+         ([check_properties]); 1 runs the instances in the calling domain.
+         Whatever the count, the scheduler produces byte-identical reports
+         and counters *)
+  admission_budget : int;
+      (* cap on the summed size estimates ([estimate_instance] units) of
+         checking instances running concurrently; 0 = unlimited.  Bounds the
+         peak memory/disk footprint of a parallel run: the largest instances
+         are kept from running simultaneously.  An instance is always
+         admitted when nothing else is in flight, so progress never
+         starves *)
 }
 
 let default_config ~workdir =
@@ -75,7 +87,9 @@ let default_config ~workdir =
     max_retries = 3;
     instance_budget_s = 0.;
     instance_edge_budget = 0;
-    resume = false }
+    resume = false;
+    workers = 1;
+    admission_budget = 0 }
 
 type timing = {
   mutable preprocess_s : float;  (* frontend + graph generation + loading *)
@@ -93,9 +107,31 @@ type fault_stats = {
          engines are added by [stats] from their metrics) *)
   mutable n_recovered : int;  (* instances that succeeded after >= 1 restart *)
   mutable n_inconclusive : int;  (* instances degraded past the retry limit *)
+  mutable n_instance_injected : int;
+      (* injected faults fired by the per-instance fault plans the parallel
+         scheduler derives; the calling domain's plan never sees those ops,
+         so [stats] adds this on top of its own [injected_count] delta *)
   smt_budget_hits0 : int;
   faults_injected0 : int;
 }
+
+(* Per-instance accounting: phases 2 and 3 write here instead of mutating
+   [prepared] directly, so instances running on worker domains stay free of
+   shared mutable state.  The scheduler merges accounts into [timing] and
+   [fault_stats] in canonical instance order once every worker has joined —
+   the aggregate is the same whatever the interleaving was. *)
+type acct = {
+  mutable a_compute_s : float;
+  mutable a_check_s : float;
+  mutable a_retried : int;
+  mutable a_recovered : int;
+  mutable a_inconclusive : int;
+  mutable a_injected : int;  (* fired by this instance's derived plan *)
+}
+
+let fresh_acct () =
+  { a_compute_s = 0.; a_check_s = 0.; a_retried = 0; a_recovered = 0;
+    a_inconclusive = 0; a_injected = 0 }
 
 type prepared = {
   config : config;
@@ -122,6 +158,14 @@ let timed cell f =
   let r = f () in
   cell := !cell +. (Unix.gettimeofday () -. t0);
   r
+
+let merge_acct (p : prepared) (a : acct) =
+  p.timing.compute_s <- p.timing.compute_s +. a.a_compute_s;
+  p.timing.check_s <- p.timing.check_s +. a.a_check_s;
+  p.faults.n_retried <- p.faults.n_retried + a.a_retried;
+  p.faults.n_recovered <- p.faults.n_recovered + a.a_recovered;
+  p.faults.n_inconclusive <- p.faults.n_inconclusive + a.a_inconclusive;
+  p.faults.n_instance_injected <- p.faults.n_instance_injected + a.a_injected
 
 (* ---------------- phase 0 + 1 ---------------- *)
 
@@ -212,7 +256,8 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   in
   let faults =
     { n_retried = 0; n_recovered = 0; n_inconclusive = 0;
-      smt_budget_hits0 = Smt.Solver.stats.Smt.Solver.budget_hits;
+      n_instance_injected = 0;
+      smt_budget_hits0 = Atomic.get Smt.Solver.stats.Smt.Solver.budget_hits;
       faults_injected0 = Engine.Faults.injected_count () }
   in
   let alias_workdir = Filename.concat config.workdir "alias" in
@@ -406,8 +451,11 @@ let instance_engine_config (config : config) ~workdir : Engine.config =
        else config.engine.Engine.wall_budget_s) }
 
 (* One attempt at phases 2 and 3 for one property; raises on storage faults
-   that survived the engine's op-level retries and on budget exhaustion. *)
-let attempt_property (p : prepared) (fsm : Fsm.t) ~resume : property_result =
+   that survived the engine's op-level retries and on budget exhaustion.
+   All accounting goes to [acct] — never to [p] — so the attempt can run on
+   a worker domain without sharing mutable state with its siblings. *)
+let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
+    property_result =
   let comp = ref 0. and chk = ref 0. in
   let dg =
     timed comp (fun () ->
@@ -429,8 +477,8 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~resume : property_result =
   (try timed comp (fun () -> Dataflow_engine.run ~resume engine)
    with exn ->
      (* keep the failed attempt's op-retry count in the run totals *)
-     p.faults.n_retried <-
-       p.faults.n_retried + (Dataflow_engine.metrics engine).Engine.Metrics.retries;
+     acct.a_retried <-
+       acct.a_retried + (Dataflow_engine.metrics engine).Engine.Metrics.retries;
      raise exn);
   (* phase 3: interpret Track edges against the FSM *)
   let registry = Dataflow_graph.registry dg in
@@ -491,8 +539,8 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~resume : property_result =
               (fun rep -> reports := rep :: !reports)
               (prefiltered_reports fsm r))
         p.prefiltered);
-  p.timing.compute_s <- p.timing.compute_s +. !comp;
-  p.timing.check_s <- p.timing.check_s +. !chk;
+  acct.a_compute_s <- acct.a_compute_s +. !comp;
+  acct.a_check_s <- acct.a_check_s +. !chk;
   { fsm; reports = Report.dedup (List.rev !reports); degraded = None;
     dataflow_engine = Some engine; dataflow_graph = Some dg }
 
@@ -503,11 +551,13 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~resume : property_result =
    [max_retries] times, after which it degrades to an [Inconclusive] report
    instead of aborting the run.  Simulated crashes ([Faults.Crash]) are
    deliberately not caught. *)
-let check_property (p : prepared) (fsm : Fsm.t) : property_result =
+let supervise (p : prepared) (fsm : Fsm.t) ~(acct : acct) : property_result =
   let rec go attempt =
-    match attempt_property p fsm ~resume:(p.config.resume || attempt > 0) with
+    match
+      attempt_property p fsm ~acct ~resume:(p.config.resume || attempt > 0)
+    with
     | r ->
-        if attempt > 0 then p.faults.n_recovered <- p.faults.n_recovered + 1;
+        if attempt > 0 then acct.a_recovered <- acct.a_recovered + 1;
         r
     | exception ((Engine.Faults.Injected _ | Sys_error _
                  | Engine.Budget_exhausted _) as exn) ->
@@ -518,20 +568,217 @@ let check_property (p : prepared) (fsm : Fsm.t) : property_result =
           | _ -> Printexc.to_string exn
         in
         if attempt < p.config.max_retries then begin
-          p.faults.n_retried <- p.faults.n_retried + 1;
+          acct.a_retried <- acct.a_retried + 1;
           Unix.sleepf
             (Engine.backoff_delay_s ~seed:p.config.engine.Engine.retry_seed
                ~base_ms:p.config.engine.Engine.retry_base_ms ~attempt);
           go (attempt + 1)
         end
         else begin
-          p.faults.n_inconclusive <- p.faults.n_inconclusive + 1;
+          acct.a_inconclusive <- acct.a_inconclusive + 1;
           sweep_instance_workdir
             (Filename.concat p.config.workdir ("df-" ^ fsm.Fsm.name));
           inconclusive_result fsm reason
         end
   in
   go 0
+
+let check_property (p : prepared) (fsm : Fsm.t) : property_result =
+  let acct = fresh_acct () in
+  let r = supervise p fsm ~acct in
+  merge_acct p acct;
+  r
+
+(* ---------------- parallel instance scheduler (ISSUE 4) ----------------
+
+   Phases 2 and 3 are independent across properties: each checking instance
+   owns its private workdir ([df-<name>]), engine, metrics, and retry
+   state, and only reads the shared phase-0/1 results.  The scheduler runs
+   one run's instances on a fixed pool of worker domains:
+
+   - instances are queued largest-estimated-first so the long poles start
+     as early as possible;
+   - an optional admission budget bounds the summed estimates in flight,
+     keeping the biggest instances from peaking together;
+   - when a fault plan is installed, each instance runs under a plan
+     *derived* from it, salted with the instance's stable identity: its
+     fault stream depends only on its own operation history, never on how
+     instances interleave across workers;
+   - per-instance accounting is merged in canonical (input) order after
+     every worker has joined.
+
+   Reports, fault counters, and statistics are therefore byte-identical at
+   every worker count, and a crashed parallel run's checkpoints can be
+   resumed by a run with any other worker count.  Simulated crashes
+   ([Faults.Crash]) behave like a process kill: the pool stops pulling
+   work and the crash is re-raised once all workers have joined, with
+   nothing of the in-memory run surviving — exactly what [--resume] is
+   for. *)
+
+type schedule_entry = {
+  s_instance : string;  (* the FSM / checker name *)
+  s_worker : int;       (* worker slot that ran it *)
+  s_estimate : int;     (* size estimate that ordered the queue *)
+  s_wall_s : float;     (* wall-clock of the instance on its worker *)
+}
+
+(* Cheap deterministic proxy for an instance's phase-2/3 size: its tracked
+   allocation vertices weighted by their alias fan-out — approximately the
+   dataflow seeds the instance will feed its engine. *)
+let estimate_instance (p : prepared) (fsm : Fsm.t) : int =
+  let n = ref 0 in
+  for v = 0 to Alias_graph.n_vertices p.alias_graph - 1 do
+    match Alias_graph.info p.alias_graph v with
+    | Alias_graph.Obj_vertex { cls; _ } when Fsm.is_tracked fsm cls ->
+        let fanout =
+          match Hashtbl.find_opt p.flows v with
+          | Some l -> List.length l
+          | None -> 0
+        in
+        n := !n + 1 + fanout
+    | _ -> ()
+  done;
+  !n
+
+let check_properties ?workers (p : prepared) (fsms : Fsm.t list) :
+    property_result list * schedule_entry list =
+  let workers =
+    match workers with Some w -> max 1 w | None -> max 1 p.config.workers
+  in
+  let n = List.length fsms in
+  if n = 0 then ([], [])
+  else begin
+    let items =
+      List.mapi (fun idx fsm -> (idx, fsm, estimate_instance p fsm)) fsms
+    in
+    (* largest first; ties broken by name so the pop order is deterministic *)
+    let queue =
+      ref
+        (List.sort
+           (fun (_, f1, e1) (_, f2, e2) ->
+             match compare e2 e1 with
+             | 0 -> compare f1.Fsm.name f2.Fsm.name
+             | c -> c)
+           items)
+    in
+    let mu = Mutex.create () in
+    let cond = Condition.create () in
+    let in_flight = ref 0 in
+    let stop = Atomic.make false in
+    let results : property_result option array = Array.make n None in
+    let accts : acct option array = Array.make n None in
+    let entries : schedule_entry option array = Array.make n None in
+    let failure : exn option Atomic.t = Atomic.make None in
+    let budget = p.config.admission_budget in
+    let pop () =
+      Mutex.lock mu;
+      let rec go () =
+        if Atomic.get stop || !queue = [] then None
+        else
+          let fits (_, _, est) =
+            budget <= 0 || !in_flight = 0 || !in_flight + est <= budget
+          in
+          match List.find_opt fits !queue with
+          | Some ((_, _, est) as item) ->
+              queue := List.filter (fun x -> x != item) !queue;
+              in_flight := !in_flight + est;
+              Some item
+          | None ->
+              (* everything queued is over the admission budget right now:
+                 wait for a running instance to finish and retry *)
+              Condition.wait cond mu;
+              go ()
+      in
+      let r = go () in
+      Mutex.unlock mu;
+      r
+    in
+    let finished est =
+      Mutex.lock mu;
+      in_flight := !in_flight - est;
+      Condition.broadcast cond;
+      Mutex.unlock mu
+    in
+    (* the base plan is captured in the calling domain; each instance runs
+       under a derived stream keyed to its own worker-independent identity *)
+    let base_plan = Engine.Faults.current () in
+    let run_instance ~slot (idx, fsm, est) =
+      let t0 = Unix.gettimeofday () in
+      let acct = fresh_acct () in
+      let saved = Engine.Faults.current () in
+      let plan =
+        Option.map
+          (fun b ->
+            Engine.Faults.derive b
+              ~salt:(Engine.Faults.salt_of_string fsm.Fsm.name))
+          base_plan
+      in
+      (match plan with
+      | Some pl -> Engine.Faults.install pl
+      | None -> Engine.Faults.clear ());
+      Engine.Faults.set_scope (Some ("df-" ^ fsm.Fsm.name));
+      Fun.protect
+        ~finally:(fun () ->
+          Engine.Faults.set_scope None;
+          match saved with
+          | Some pl -> Engine.Faults.install pl
+          | None -> Engine.Faults.clear ())
+        (fun () ->
+          let r = supervise p fsm ~acct in
+          (match plan with
+          | Some pl -> acct.a_injected <- pl.Engine.Faults.n_injected
+          | None -> ());
+          results.(idx) <- Some r;
+          accts.(idx) <- Some acct;
+          entries.(idx) <-
+            Some
+              { s_instance = fsm.Fsm.name; s_worker = slot; s_estimate = est;
+                s_wall_s = Unix.gettimeofday () -. t0 })
+    in
+    let worker slot =
+      let rec loop () =
+        match pop () with
+        | None -> ()
+        | Some ((_, _, est) as item) -> (
+            match run_instance ~slot item with
+            | () ->
+                finished est;
+                loop ()
+            | exception exn ->
+                (* a simulated crash (or unexpected error) kills the run:
+                   record the first, stop the pool, wake any waiters *)
+                ignore (Atomic.compare_and_set failure None (Some exn));
+                Atomic.set stop true;
+                finished est)
+      in
+      loop ()
+    in
+    let pool = min workers n in
+    if pool <= 1 then worker 0
+    else begin
+      (* the pool takes priority over the engines' own solver fan-out:
+         reserving a slot per worker makes [solve_batch] inside the workers
+         degrade to sequential solving instead of oversubscribing the
+         machine W×S ways *)
+      Engine.Domains.reserve pool;
+      Fun.protect
+        ~finally:(fun () -> Engine.Domains.release pool)
+        (fun () ->
+          List.init pool (fun slot ->
+              Engine.Domains.spawn (fun () -> worker slot))
+          |> List.iter Domain.join)
+    end;
+    (match Atomic.get failure with Some exn -> raise exn | None -> ());
+    (* merge the per-instance accounts in canonical order: float additions
+       happen in the same sequence at every worker count *)
+    for idx = 0 to n - 1 do
+      match accts.(idx) with
+      | Some a -> merge_acct p a
+      | None -> assert false
+    done;
+    ( List.init n (fun idx -> Option.get results.(idx)),
+      List.init n (fun idx -> Option.get entries.(idx)) )
+  end
 
 (* ---------------- aggregate statistics (Tables 3-5, Figure 9) -------- *)
 
@@ -657,9 +904,11 @@ let stats (p : prepared) (props : property_result list) : stats =
     n_inconclusive = p.faults.n_inconclusive;
     n_smt_budget_hits =
       max 0
-        (Smt.Solver.stats.Smt.Solver.budget_hits - p.faults.smt_budget_hits0);
+        (Atomic.get Smt.Solver.stats.Smt.Solver.budget_hits
+        - p.faults.smt_budget_hits0);
     n_faults_injected =
-      max 0 (Engine.Faults.injected_count () - p.faults.faults_injected0);
+      max 0 (Engine.Faults.injected_count () - p.faults.faults_injected0)
+      + p.faults.n_instance_injected;
     n_corrupt_recovered = m.Engine.Metrics.corrupt_reads }
 
 (* Convenience wrapper: run every phase for a list of properties.  The
@@ -673,7 +922,7 @@ let check ?config ~workdir program fsms =
     else c
   in
   let p = prepare ~config ~workdir program in
-  let results = List.map (check_property p) fsms in
+  let results, _schedule = check_properties p fsms in
   (p, results)
 
 let cleanup (p : prepared) (props : property_result list) =

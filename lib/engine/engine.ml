@@ -18,6 +18,7 @@ module Lru = Lru
 module Storage = Storage
 module Faults = Faults
 module Manifest = Manifest
+module Domains = Domains
 module Encoding = Pathenc.Encoding
 module Formula = Smt.Formula
 module Solver = Smt.Solver
@@ -206,9 +207,15 @@ module Make (L : LABEL_LOGIC) = struct
 
   (* Decide a batch of (deduplicated, cache-missed) encodings, fanning the
      work out over worker domains when configured.  Decoding and solving are
-     both pure over read-only state (the ICFET, the formula algebra), so the
-     only shared mutation is the solver's statistics counters, which are
-     tolerated as approximate under parallelism. *)
+     both pure over read-only state (the ICFET, the formula algebra), and
+     the solver's statistics counters are atomic, so the verdicts — and the
+     counter totals — are independent of how the batch is split.
+
+     The fan-out draws its extra domains from the process-wide
+     [Domains] budget: when the instance scheduler already owns every slot
+     (this engine is running inside a worker domain), [acquire] grants
+     nothing and the batch degrades to sequential solving in the calling
+     domain instead of oversubscribing the machine. *)
   let solve_batch t (encs : Encoding.t list) : (Encoding.t * bool) list =
     let n = List.length encs in
     let domains = t.config.solver_domains in
@@ -217,22 +224,34 @@ module Make (L : LABEL_LOGIC) = struct
     if domains <= 1 || n < 16 * domains then
       List.map (fun enc -> (enc, solve_one t.decode enc)) encs
     else begin
-      let arr = Array.of_list encs in
-      let chunk = (n + domains - 1) / domains in
-      let work lo =
-        let hi = min n (lo + chunk) in
-        let out = ref [] in
-        for i = lo to hi - 1 do
-          out := (arr.(i), solve_one t.decode arr.(i)) :: !out
-        done;
-        !out
-      in
-      let spawned =
-        List.init (domains - 1) (fun k ->
-            Domain.spawn (fun () -> work ((k + 1) * chunk)))
-      in
-      let mine = work 0 in
-      List.fold_left (fun acc d -> Domain.join d @ acc) mine spawned
+      let grant = Domains.acquire ~max:(domains - 1) in
+      if grant = 0 then
+        List.map (fun enc -> (enc, solve_one t.decode enc)) encs
+      else
+        Fun.protect
+          ~finally:(fun () -> Domains.release grant)
+          (fun () ->
+            let arr = Array.of_list encs in
+            let lanes = grant + 1 in
+            let chunk = (n + lanes - 1) / lanes in
+            let work lo =
+              let hi = min n (lo + chunk) in
+              let out = ref [] in
+              for i = hi - 1 downto lo do
+                out := (arr.(i), solve_one t.decode arr.(i)) :: !out
+              done;
+              !out
+            in
+            let spawned =
+              List.init grant (fun k ->
+                  Domains.spawn (fun () -> work ((k + 1) * chunk)))
+            in
+            let mine = work 0 in
+            (* concatenate chunks in index order: the result list preserves
+               the input order whatever the grant was, so downstream
+               consumers (LRU insertion order in particular) behave
+               identically at every degree of fan-out *)
+            mine @ List.concat_map Domain.join spawned)
     end
 
   let feasible t (enc : Encoding.t) : bool =

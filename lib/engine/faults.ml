@@ -87,14 +87,28 @@ let parse (spec : string) : plan =
                | _ -> fail "unknown directive %S" key));
   make ~seed:!seed (List.rev !directives)
 
-(* ---------------- the installed plan ---------------- *)
+(* ---------------- the installed plan ----------------
 
-let active : plan option ref = ref None
-let install p = active := Some p
-let clear () = active := None
+   The active plan is *domain-local*: each domain sees (and advances) its
+   own plan, so the parallel instance scheduler can give every checking
+   instance a private fault stream whose decisions depend only on that
+   instance's own operation history — never on how instances interleave
+   across workers.  The main domain keeps the process-level plan installed
+   by the CLI or a test; worker domains start with none until the scheduler
+   installs a derived plan for the instance they are about to run. *)
+
+let active_key : plan option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let active () = !(Domain.DLS.get active_key)
+let install p = Domain.DLS.get active_key := Some p
+let clear () = Domain.DLS.get active_key := None
+
+(* The calling domain's plan, for capturing a spec to derive from. *)
+let current () : plan option = active ()
 
 let injected_count () =
-  match !active with Some p -> p.n_injected | None -> 0
+  match active () with Some p -> p.n_injected | None -> 0
 
 (* ---------------- deterministic decisions ---------------- *)
 
@@ -105,6 +119,44 @@ let mix3 a b c =
   let z = (z lxor (z lsr 15)) * 0x2545F491 in
   let z = (z lxor (z lsr 13)) * 0x5EB2D8C1 in
   (z lxor (z lsr 16)) land 0x3FFFFFFF
+
+(* A fresh plan with [base]'s directives, zeroed counters, and a seed mixed
+   with [salt]: the per-instance plans of the parallel scheduler.  Keying
+   the stream off a stable instance identity (not a worker slot) is what
+   makes a run's fault decisions — and therefore its reports and fault
+   counters — byte-identical at every worker count. *)
+let derive (base : plan) ~salt = make ~seed:(mix3 base.seed 0xd3e salt) base.directives
+
+(* Stable salt for [derive]: FNV-1a over the instance's name. *)
+let salt_of_string (s : string) : int =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+(* ---------------- storage-op observation (tests) ----------------
+
+   [observer], when set, is called on every storage read and write with the
+   operation and path — plan or no plan installed.  [scope] is a
+   domain-local tag the scheduler sets to the instance a worker is
+   currently running, so an observer can attribute each operation; the
+   isolation stress test uses the pair to prove no partition file is ever
+   touched by two workers. *)
+
+type op = Op_read | Op_write
+
+let observer : (op -> string -> unit) option ref = ref None
+let set_observer f = observer := f
+
+let scope_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_scope s = Domain.DLS.get scope_key := s
+let scope () = !(Domain.DLS.get scope_key)
+
+let observe op path =
+  match !observer with None -> () | Some f -> f op path
 
 let rate_of p =
   List.fold_left
@@ -127,7 +179,8 @@ let inject p msg =
 (* ---------------- hooks called by the storage layer ---------------- *)
 
 let on_read ~path =
-  match !active with
+  observe Op_read path;
+  match active () with
   | None -> ()
   | Some p ->
       p.n_reads <- p.n_reads + 1;
@@ -140,7 +193,8 @@ let on_read ~path =
 (* [`Short] instructs the caller to persist only a truncated prefix of the
    temp file and then fail, simulating a write torn by ENOSPC or a crash. *)
 let on_write ~path : [ `Ok | `Short ] =
-  match !active with
+  observe Op_write path;
+  match active () with
   | None -> `Ok
   | Some p ->
       p.n_writes <- p.n_writes + 1;
@@ -156,7 +210,7 @@ let on_write ~path : [ `Ok | `Short ] =
       else `Ok
 
 let before_rename ~path =
-  match !active with
+  match active () with
   | None -> ()
   | Some p ->
       p.n_renames <- p.n_renames + 1;
@@ -167,7 +221,7 @@ let before_rename ~path =
                 (Filename.basename path)))
 
 let after_rename ~path =
-  match !active with
+  match active () with
   | None -> ()
   | Some p ->
       if nth_hit p Crash_after_rename p.n_renames then
@@ -177,7 +231,7 @@ let after_rename ~path =
                 (Filename.basename path)))
 
 let on_checkpoint () =
-  match !active with
+  match active () with
   | None -> ()
   | Some p ->
       p.n_checkpoints <- p.n_checkpoints + 1;

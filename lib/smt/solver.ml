@@ -15,35 +15,40 @@ type model = (Symbol.t * int) list
 
 type model_result = Model_sat of model option | Model_unsat | Model_unknown
 
-(* Statistics across the whole process, reported by the benchmarks. *)
+(* Statistics across the whole process, reported by the benchmarks.  The
+   counters are atomic because the engine solves from several domains (the
+   SMT batch fan-out and the parallel instance scheduler); totals are sums
+   of per-call increments, so they are independent of interleaving — a run
+   performing the same solver calls reports the same counts at any worker
+   count. *)
 type stats = {
-  mutable calls : int;
-  mutable sat_answers : int;
-  mutable unsat_answers : int;
-  mutable unknown_answers : int;
-  mutable theory_checks : int;
-  mutable sat_rounds : int;
-  mutable budget_hits : int;  (* DPLL(T) round budget exhausted -> Unknown *)
+  calls : int Atomic.t;
+  sat_answers : int Atomic.t;
+  unsat_answers : int Atomic.t;
+  unknown_answers : int Atomic.t;
+  theory_checks : int Atomic.t;
+  sat_rounds : int Atomic.t;
+  budget_hits : int Atomic.t;  (* DPLL(T) round budget exhausted -> Unknown *)
 }
 
 let stats = {
-  calls = 0;
-  sat_answers = 0;
-  unsat_answers = 0;
-  unknown_answers = 0;
-  theory_checks = 0;
-  sat_rounds = 0;
-  budget_hits = 0;
+  calls = Atomic.make 0;
+  sat_answers = Atomic.make 0;
+  unsat_answers = Atomic.make 0;
+  unknown_answers = Atomic.make 0;
+  theory_checks = Atomic.make 0;
+  sat_rounds = Atomic.make 0;
+  budget_hits = Atomic.make 0;
 }
 
 let reset_stats () =
-  stats.calls <- 0;
-  stats.sat_answers <- 0;
-  stats.unsat_answers <- 0;
-  stats.unknown_answers <- 0;
-  stats.theory_checks <- 0;
-  stats.sat_rounds <- 0;
-  stats.budget_hits <- 0
+  Atomic.set stats.calls 0;
+  Atomic.set stats.sat_answers 0;
+  Atomic.set stats.unsat_answers 0;
+  Atomic.set stats.unknown_answers 0;
+  Atomic.set stats.theory_checks 0;
+  Atomic.set stats.sat_rounds 0;
+  Atomic.set stats.budget_hits 0
 
 let max_dpllt_rounds = 10_000
 
@@ -72,7 +77,7 @@ let rec conjuncts acc (f : Formula.t) =
   | Formula.Or _ | Formula.Not _ -> None
 
 let check_conjunction (atoms : Formula.atom list) : result =
-  stats.theory_checks <- stats.theory_checks + 1;
+  Atomic.incr stats.theory_checks;
   match Theory.check atoms ~neg_eqs:[] with
   | Theory.Sat -> Sat
   | Theory.Unsat -> Unsat
@@ -159,16 +164,16 @@ let solve_with_skeleton (f : Formula.t) : result =
   List.iter (Sat.add_clause sat) sk.clauses;
   let rec loop rounds =
     if rounds > !round_budget then begin
-      stats.budget_hits <- stats.budget_hits + 1;
+      Atomic.incr stats.budget_hits;
       Unknown
     end
     else begin
-      stats.sat_rounds <- stats.sat_rounds + 1;
+      Atomic.incr stats.sat_rounds;
       match Sat.solve_current sat with
       | Sat.Unsat -> Unsat
       | Sat.Sat model ->
           let pos, neg_eqs = model_to_theory sk model in
-          stats.theory_checks <- stats.theory_checks + 1;
+          Atomic.incr stats.theory_checks;
           (match Theory.check pos ~neg_eqs with
           | Theory.Sat -> Sat
           | Theory.Unsat ->
@@ -186,12 +191,12 @@ let solve_with_skeleton (f : Formula.t) : result =
 
 (* Decide satisfiability of an arbitrary formula. *)
 let check (f : Formula.t) : result =
-  stats.calls <- stats.calls + 1;
+  Atomic.incr stats.calls;
   let record r =
     (match r with
-    | Sat -> stats.sat_answers <- stats.sat_answers + 1
-    | Unsat -> stats.unsat_answers <- stats.unsat_answers + 1
-    | Unknown -> stats.unknown_answers <- stats.unknown_answers + 1);
+    | Sat -> Atomic.incr stats.sat_answers
+    | Unsat -> Atomic.incr stats.unsat_answers
+    | Unknown -> Atomic.incr stats.unknown_answers);
     r
   in
   match Formula.nnf f with

@@ -23,5 +23,6 @@ let () =
       ("interproc", Suite_interproc.suite);
       ("pipeline", Suite_pipeline.suite);
       ("faults", Suite_faults.suite);
+      ("parallel", Suite_parallel.suite);
       ("workload", Suite_workload.suite);
       ("baseline", Suite_baseline.suite) ]
