@@ -330,8 +330,10 @@ let table5 ~fast () =
       let s_time = Unix.gettimeofday () -. t0 in
       let sm = SEngine.stats s in
       Printf.printf "%-12s | %5d %5d %7d %5s | %5d %5d %7d %5s\n" name
-        (AEngine.n_partitions g) gm.Engine.Metrics.pairs_processed
-        gm.Engine.Metrics.constraints_solved (hms g_time)
+        (AEngine.n_partitions g)
+        (Engine.Metrics.count gm.Engine.Metrics.pairs_processed)
+        (Engine.Metrics.count gm.Engine.Metrics.constraints_solved)
+        (hms g_time)
         sm.Baseline.String_engine.n_partitions
         sm.Baseline.String_engine.iterations
         sm.Baseline.String_engine.constraints_solved (hms s_time);
@@ -653,7 +655,8 @@ let ablation () =
       let dt = Unix.gettimeofday () -. t0 in
       let m = AEngine.metrics g in
       Printf.printf "%10d %8d %8d %8s\n" budget (AEngine.n_partitions g)
-        m.Engine.Metrics.pairs_processed (hms dt);
+        (Engine.Metrics.count m.Engine.Metrics.pairs_processed)
+        (hms dt);
       AEngine.cleanup g)
     [ 1_000; 5_000; 50_000 ];
   print_endline
@@ -980,6 +983,68 @@ let micro () =
     instances
 
 (* ------------------------------------------------------------------ *)
+(* Baseline snapshot: a machine-readable performance record per commit.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Writes BENCH_<rev>.json in the current directory: per-subject wall
+   time, Figure-9 breakdown percentages, cache hit rate, and closure
+   throughput (edges added per second of compute).  Comparing two such
+   files across commits is the intended regression check. *)
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | ic ->
+      let rev = try String.trim (input_line ic) with End_of_file -> "" in
+      let status = Unix.close_process_in ic in
+      if status = Unix.WEXITED 0 && rev <> "" then rev else "dev"
+  | exception _ -> "dev"
+
+let baseline () =
+  header "Baseline: performance snapshot for this commit"
+    "regression tracking, not a paper figure";
+  let rev = git_rev () in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let subject_json (r : run) =
+    let s = r.stats in
+    let name = r.subject.Generator.profile.Generator.name in
+    let hit_rate =
+      if s.Pipeline.cache_lookups = 0 then 0.
+      else float_of_int s.Pipeline.cache_hits /. float_of_int s.Pipeline.cache_lookups
+    in
+    let edges_per_s =
+      if s.Pipeline.compute_s > 0. then
+        float_of_int s.Pipeline.edges_added /. s.Pipeline.compute_s
+      else 0.
+    in
+    let breakdown =
+      String.concat ","
+        (List.map
+           (fun (component, pct) ->
+             Printf.sprintf "%S:%.2f" component pct)
+           s.Pipeline.breakdown)
+    in
+    Printf.sprintf
+      {|    {"subject":%S,"wall_s":%.3f,"preprocess_s":%.3f,"compute_s":%.3f,"edges_added":%d,"edges_per_s":%.1f,"cache_hit_rate":%.4f,"bytes_read":%d,"bytes_written":%d,"breakdown_pct":{%s}}|}
+      name r.wall_s s.Pipeline.preprocess_s s.Pipeline.compute_s
+      s.Pipeline.edges_added edges_per_s hit_rate s.Pipeline.bytes_read
+      s.Pipeline.bytes_written breakdown
+  in
+  let runs = all_runs () in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"rev\": %S,\n  \"subjects\": [\n%s\n  ]\n}\n" rev
+    (String.concat ",\n" (List.map subject_json runs));
+  close_out oc;
+  List.iter
+    (fun (r : run) ->
+      Printf.printf "  %-12s wall=%s edges/s=%.0f\n"
+        r.subject.Generator.profile.Generator.name (hms r.wall_s)
+        (if r.stats.Pipeline.compute_s > 0. then
+           float_of_int r.stats.Pipeline.edges_added
+           /. r.stats.Pipeline.compute_s
+         else 0.))
+    runs;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1002,7 +1067,8 @@ let () =
       ("summaries", fun () -> summaries ());
       ("faults", fun () -> faults ());
       ("scaling", fun () -> scaling ~fast ());
-      ("micro", fun () -> micro ()) ]
+      ("micro", fun () -> micro ());
+      ("baseline", fun () -> baseline ()) ]
   in
   let chosen =
     match args with

@@ -49,8 +49,22 @@ let checkers_arg =
 let unroll_arg =
   Arg.(value & opt int 2 & info [ "unroll" ] ~docv:"K" ~doc:"loop unroll bound")
 
-let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"print the recovered path of each warning")
+let paths_arg =
+  Arg.(value & flag & info [ "paths" ] ~doc:"print the recovered path of each warning")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"write a Chrome trace_event JSON timeline of the run to \
+                 FILE (load it in Perfetto or chrome://tracing).  Tracing \
+                 only observes the run: warnings and statistics are \
+                 byte-identical with and without it")
+
+let metrics_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"write the run's full metric registry (counters, timers, \
+                 histograms) as JSON to FILE")
 
 let json_arg =
   Arg.(value & flag
@@ -148,9 +162,9 @@ let smt_budget_arg =
                  feasible, counted in the smt-budget-hits stat")
 
 let check_cmd =
-  let run file checkers unroll trace json no_prefilter no_summary_prefilter
-      workdir_opt resume_opt instance_budget edge_budget max_retries
-      fault_plan smt_budget workers_opt admission_budget =
+  let run file checkers unroll paths trace_out metrics_out json no_prefilter
+      no_summary_prefilter workdir_opt resume_opt instance_budget edge_budget
+      max_retries fault_plan smt_budget workers_opt admission_budget =
     let workers =
       match workers_opt with
       | Some w -> max 1 w
@@ -170,6 +184,10 @@ let check_cmd =
         Engine.Faults.install (Engine.Faults.parse spec)
     | _ -> ());
     Smt.Solver.set_budget smt_budget;
+    (match trace_out with
+    | Some path -> Obs.Trace.start ~path
+    | None -> ());
+    Fun.protect ~finally:Obs.Trace.stop @@ fun () ->
     let program = load file in
     if program.Jir.Ast.entries = [] then
       prerr_endline
@@ -235,7 +253,7 @@ let check_cmd =
                 (List.length reports);
               List.iter
                 (fun r ->
-                  if trace then
+                  if paths then
                     Fmt.pr "  %a@." Grapple.Report.pp_with_trace r
                   else Printf.printf "  %s\n" (Grapple.Report.to_string r))
                 reports
@@ -243,21 +261,39 @@ let check_cmd =
             total := !total + List.length reports)
           results;
         let stats = Grapple.Pipeline.stats prepared props in
+        (match metrics_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc
+              (Obs.Registry.to_json stats.Grapple.Pipeline.registry);
+            output_char oc '\n';
+            close_out oc
+        | None -> ());
         if json then
           (* machine-readable run stats, one line, after the reports *)
           Printf.printf
-            {|{"tool":"stats","warnings":%d,"n_retried":%d,"n_recovered":%d,"n_inconclusive":%d,"n_smt_budget_hits":%d,"n_faults_injected":%d,"n_corrupt_recovered":%d}|}
+            {|{"tool":"stats","warnings":%d,"n_retried":%d,"n_recovered":%d,"n_inconclusive":%d,"n_smt_budget_hits":%d,"n_faults_injected":%d,"n_corrupt_recovered":%d,"cache_enabled":%b,"bytes_read":%d,"bytes_written":%d}|}
             !total stats.Grapple.Pipeline.n_retried
             stats.Grapple.Pipeline.n_recovered
             stats.Grapple.Pipeline.n_inconclusive
             stats.Grapple.Pipeline.n_smt_budget_hits
             stats.Grapple.Pipeline.n_faults_injected
             stats.Grapple.Pipeline.n_corrupt_recovered
+            stats.Grapple.Pipeline.cache_enabled
+            stats.Grapple.Pipeline.bytes_read
+            stats.Grapple.Pipeline.bytes_written
           |> print_newline;
         let summary = if json then Printf.eprintf else Printf.printf in
+        let cache_cell =
+          (* "off" for a disabled cache instead of a misleading 0/0 *)
+          if not stats.Grapple.Pipeline.cache_enabled then "off"
+          else
+            Printf.sprintf "%d/%d" stats.Grapple.Pipeline.cache_hits
+              stats.Grapple.Pipeline.cache_lookups
+        in
         summary
           "\n%d warning(s); |V|=%d |E|before=%d |E|after=%d partitions=%d \
-           iterations=%d constraints=%d cache=%d/%d prefiltered=%d \
+           iterations=%d constraints=%d cache=%s prefiltered=%d \
            summary-pruned=%d retried=%d recovered=%d inconclusive=%d \
            smt-budget-hits=%d faults-injected=%d\n"
           !total stats.Grapple.Pipeline.n_vertices
@@ -266,7 +302,7 @@ let check_cmd =
           stats.Grapple.Pipeline.n_partitions
           stats.Grapple.Pipeline.n_iterations
           stats.Grapple.Pipeline.n_constraints_solved
-          stats.Grapple.Pipeline.cache_hits stats.Grapple.Pipeline.cache_lookups
+          cache_cell
           stats.Grapple.Pipeline.n_prefiltered
           stats.Grapple.Pipeline.n_summary_pruned
           stats.Grapple.Pipeline.n_retried stats.Grapple.Pipeline.n_recovered
@@ -275,10 +311,11 @@ let check_cmd =
           stats.Grapple.Pipeline.n_faults_injected)
   in
   Cmd.v (Cmd.info "check" ~doc:"run property checkers on a JIR file")
-    Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ trace_arg
-          $ json_arg $ no_prefilter_arg $ no_summary_prefilter_arg
-          $ workdir_arg $ resume_arg $ instance_budget_arg $ edge_budget_arg
-          $ max_retries_arg $ fault_plan_arg $ smt_budget_arg $ workers_arg
+    Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ paths_arg
+          $ trace_out_arg $ metrics_json_arg $ json_arg $ no_prefilter_arg
+          $ no_summary_prefilter_arg $ workdir_arg $ resume_arg
+          $ instance_budget_arg $ edge_budget_arg $ max_retries_arg
+          $ fault_plan_arg $ smt_budget_arg $ workers_arg
           $ admission_budget_arg)
 
 let interproc_arg =

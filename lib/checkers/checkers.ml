@@ -46,7 +46,9 @@ let fsms () =
 let run (p : Pipeline.prepared) (c : t) : Report.t list =
   match c.kind with
   | `Typestate fsm -> (Pipeline.check_property p fsm).Pipeline.reports
-  | `Exception_walk -> Exception_checker.run p
+  | `Exception_walk ->
+      Obs.Trace.with_span ~cat:"checker" "checker.exception_walk" (fun () ->
+          Exception_checker.run p)
 
 (* Run every checker, reusing the shared phase-1 results; returns per-checker
    warnings plus the property results needed for statistics. *)
@@ -61,7 +63,10 @@ let run_all (p : Pipeline.prepared) (cs : t list) :
             let pr = Pipeline.check_property p fsm in
             props := pr :: !props;
             (c.name, pr.Pipeline.reports)
-        | `Exception_walk -> (c.name, Exception_checker.run p))
+        | `Exception_walk ->
+            ( c.name,
+              Obs.Trace.with_span ~cat:"checker" "checker.exception_walk"
+                (fun () -> Exception_checker.run p) ))
       cs
   in
   (out, List.rev !props)
@@ -94,6 +99,9 @@ let run_all_scheduled ?workers (p : Pipeline.prepared) (cs : t list) :
                 (c.name, pr.Pipeline.reports) :: assemble rest tl
             | [] -> assert false)
         | `Exception_walk ->
-            (c.name, Exception_checker.run p) :: assemble rest props)
+            ( c.name,
+              Obs.Trace.with_span ~cat:"checker" "checker.exception_walk"
+                (fun () -> Exception_checker.run p) )
+            :: assemble rest props)
   in
   (assemble cs props, props, schedule)

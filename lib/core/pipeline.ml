@@ -159,6 +159,11 @@ let timed cell f =
   cell := !cell +. (Unix.gettimeofday () -. t0);
   r
 
+(* [timed] plus a trace span, so the pipeline phases show up as named
+   blocks in a [--trace] timeline. *)
+let timed_span name cell f =
+  Obs.Trace.with_span ~cat:"pipeline" name (fun () -> timed cell f)
+
 let merge_acct (p : prepared) (a : acct) =
   p.timing.compute_s <- p.timing.compute_s +. a.a_compute_s;
   p.timing.check_s <- p.timing.check_s +. a.a_check_s;
@@ -176,7 +181,7 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   in
   let timing = { preprocess_s = 0.; compute_s = 0.; check_s = 0. } in
   let pre = ref 0. and comp = ref 0. in
-  let program = timed pre (fun () ->
+  let program = timed_span "phase0.unroll" pre (fun () ->
       Jir.Unroll.unroll_program ~bound:config.unroll_bound program)
   in
   let may_throw =
@@ -191,20 +196,22 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
       | None -> Hashtbl.find_opt table (c.Jir.Ast.target_class, c.Jir.Ast.mname)
   in
   let icfet =
-    timed pre (fun () ->
+    timed_span "phase0.icfet" pre (fun () ->
         let base = Cfet.default_config program in
         Icfet.build ~config:{ base with Cfet.may_throw } program)
   in
-  let callgraph = timed pre (fun () -> Jir.Callgraph.build program) in
+  let callgraph =
+    timed_span "phase0.callgraph" pre (fun () -> Jir.Callgraph.build program)
+  in
   let clones =
-    timed pre (fun () ->
+    timed_span "phase0.clones" pre (fun () ->
         Clone_tree.build ~max_instances:config.max_instances icfet callgraph)
   in
   (* escape-based pre-filter (ISSUE 1): tracked allocations that provably
      never leave their method are resolved locally in [check_property];
      exclude them from the alias graph so neither closure ever sees them *)
   let prefiltered =
-    timed pre (fun () ->
+    timed_span "phase0.escape_prefilter" pre (fun () ->
         if config.prefilter && config.prefilter_properties <> [] then
           let tracked cls =
             List.exists
@@ -224,7 +231,7 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
      produce a report for it.  Unlike the escape filter, pruned allocations
      need no local re-check: clean means no report at all. *)
   let summary_pruned =
-    timed pre (fun () ->
+    timed_span "phase0.summary_prefilter" pre (fun () ->
         if config.summary_prefilter && config.prefilter_properties <> [] then begin
           let clean = Hashtbl.create 16 and dirty = Hashtbl.create 16 in
           List.iter
@@ -249,7 +256,7 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   in
   List.iter (fun sid -> Hashtbl.replace excluded sid ()) summary_pruned;
   let alias_graph =
-    timed pre (fun () ->
+    timed_span "phase0.alias_graph" pre (fun () ->
         Alias_graph.build ~max_edges:config.max_graph_edges
           ~track_null:config.track_null ~exclude:(Hashtbl.mem excluded) icfet
           clones)
@@ -268,7 +275,7 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
         ~decode:(fun enc -> Icfet.constraint_of icfet enc)
         ~workdir:alias_workdir ()
     in
-    timed pre (fun () ->
+    timed_span "phase1.seed" pre (fun () ->
         Alias_graph.iter_edges alias_graph (fun edge ->
             Alias_engine.add_seed e ~src:edge.Alias_graph.src
               ~dst:edge.Alias_graph.dst ~label:edge.Alias_graph.label
@@ -284,13 +291,13 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   let rec run_alias attempt =
     let e = mk_alias_engine () in
     match
-      timed comp (fun () ->
+      timed_span "phase1.alias_closure" comp (fun () ->
           Alias_engine.run ~resume:(config.resume || attempt > 0) e);
       (* collect flowsTo facts rooted at allocation sites: the in-memory
          alias results phase 2 queries (§2.2) *)
       let flows : Dataflow_graph.flows = Hashtbl.create 1024 in
       let n_alias_pairs = ref 0 in
-      timed comp (fun () ->
+      timed_span "phase1.collect_flows" comp (fun () ->
           Alias_engine.iter_result_edges e (fun edge ->
               match edge.Alias_engine.label with
               | Pg.Flows_to -> (
@@ -314,7 +321,8 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
                  | Engine.Budget_exhausted _) as exn) ->
         (* keep the failed attempt's op-retry count in the run totals *)
         faults.n_retried <-
-          faults.n_retried + (Alias_engine.metrics e).Engine.Metrics.retries;
+          faults.n_retried
+          + Engine.Metrics.count (Alias_engine.metrics e).Engine.Metrics.retries;
         if attempt >= config.max_retries then raise exn
         else begin
           faults.n_retried <- faults.n_retried + 1;
@@ -458,7 +466,7 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
     property_result =
   let comp = ref 0. and chk = ref 0. in
   let dg =
-    timed comp (fun () ->
+    timed_span "phase2.dataflow_graph" comp (fun () ->
         Dataflow_graph.build p.icfet p.clones p.alias_graph p.flows fsm)
   in
   let workdir = Filename.concat p.config.workdir ("df-" ^ fsm.Fsm.name) in
@@ -474,11 +482,15 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
         ~dst:s.Dataflow_graph.dst ~label:s.Dataflow_graph.label
         ~enc:s.Dataflow_graph.enc)
     (Dataflow_graph.seeds dg);
-  (try timed comp (fun () -> Dataflow_engine.run ~resume engine)
+  (try
+     timed_span "phase2.dataflow_closure" comp (fun () ->
+         Dataflow_engine.run ~resume engine)
    with exn ->
      (* keep the failed attempt's op-retry count in the run totals *)
      acct.a_retried <-
-       acct.a_retried + (Dataflow_engine.metrics engine).Engine.Metrics.retries;
+       acct.a_retried
+       + Engine.Metrics.count
+           (Dataflow_engine.metrics engine).Engine.Metrics.retries;
      raise exn);
   (* phase 3: interpret Track edges against the FSM *)
   let registry = Dataflow_graph.registry dg in
@@ -488,7 +500,7 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
       Hashtbl.replace by_source tr.Dataflow_graph.source_vertex tr)
     (Dataflow_graph.tracked dg);
   let reports = ref [] in
-  timed chk (fun () ->
+  timed_span "phase3.fsm_check" chk (fun () ->
       Dataflow_engine.iter_result_edges engine (fun e ->
           match
             (e.Dataflow_engine.label, Hashtbl.find_opt by_source e.Dataflow_engine.src)
@@ -531,7 +543,7 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
           | _ -> ()));
   (* allocations the pre-filter kept out of the graphs are checked here,
      against the same FSM, from their locally-enumerated event paths *)
-  timed chk (fun () ->
+  timed_span "phase3.prefiltered" chk (fun () ->
       List.iter
         (fun (r : Escape.resolved) ->
           if Fsm.is_tracked fsm r.Escape.cls then
@@ -703,6 +715,12 @@ let check_properties ?workers (p : prepared) (fsms : Fsm.t list) :
        under a derived stream keyed to its own worker-independent identity *)
     let base_plan = Engine.Faults.current () in
     let run_instance ~slot (idx, fsm, est) =
+      Obs.Trace.with_span ~cat:"scheduler"
+        ~args:[ ("instance", Obs.Trace.Str fsm.Fsm.name);
+                ("worker", Obs.Trace.Int slot);
+                ("estimate", Obs.Trace.Int est) ]
+        "scheduler.instance"
+      @@ fun () ->
       let t0 = Unix.gettimeofday () in
       let acct = fresh_acct () in
       let saved = Engine.Faults.current () in
@@ -792,9 +810,12 @@ type stats = {
   n_partitions : int;
   n_iterations : int;
   n_constraints_solved : int;
+  cache_enabled : bool;
   cache_lookups : int;
   cache_hits : int;
   solve_s : float;
+  bytes_read : int;    (* partition bytes read across all engines *)
+  bytes_written : int; (* partition bytes written across all engines *)
   breakdown : (string * float) list;
   n_prefiltered : int;  (* tracked allocations resolved without the engine *)
   n_summary_pruned : int;
@@ -809,40 +830,19 @@ type stats = {
   n_faults_injected : int;  (* injected faults fired during this run *)
   n_corrupt_recovered : int;
       (* partition reads that recovered a valid prefix from damage *)
+  registry : Obs.Registry.t;
+      (* the run's full merged metric registry (engine counters/timers/
+         histograms plus pipeline- and solver-level entries), for
+         [--metrics-json] and programmatic consumers *)
 }
 
+(* Registry-level merge: every metric each engine registered — counters,
+   timers, histograms, including ones this module never heard of — is
+   summed, in canonical order (the earlier field-by-field version silently
+   dropped [edges_considered]; a name-driven merge cannot lose fields). *)
 let combine_metrics (ms : Engine.Metrics.t list) : Engine.Metrics.t =
   let out = Engine.Metrics.create () in
-  List.iter
-    (fun (m : Engine.Metrics.t) ->
-      out.Engine.Metrics.io_s <- out.Engine.Metrics.io_s +. m.Engine.Metrics.io_s;
-      out.Engine.Metrics.decode_s <-
-        out.Engine.Metrics.decode_s +. m.Engine.Metrics.decode_s;
-      out.Engine.Metrics.solve_s <-
-        out.Engine.Metrics.solve_s +. m.Engine.Metrics.solve_s;
-      out.Engine.Metrics.join_s <-
-        out.Engine.Metrics.join_s +. m.Engine.Metrics.join_s;
-      out.Engine.Metrics.constraints_solved <-
-        out.Engine.Metrics.constraints_solved + m.Engine.Metrics.constraints_solved;
-      out.Engine.Metrics.cache_lookups <-
-        out.Engine.Metrics.cache_lookups + m.Engine.Metrics.cache_lookups;
-      out.Engine.Metrics.cache_hits <-
-        out.Engine.Metrics.cache_hits + m.Engine.Metrics.cache_hits;
-      out.Engine.Metrics.edges_added <-
-        out.Engine.Metrics.edges_added + m.Engine.Metrics.edges_added;
-      out.Engine.Metrics.pairs_processed <-
-        out.Engine.Metrics.pairs_processed + m.Engine.Metrics.pairs_processed;
-      out.Engine.Metrics.repartitions <-
-        out.Engine.Metrics.repartitions + m.Engine.Metrics.repartitions;
-      out.Engine.Metrics.bytes_read <-
-        out.Engine.Metrics.bytes_read + m.Engine.Metrics.bytes_read;
-      out.Engine.Metrics.bytes_written <-
-        out.Engine.Metrics.bytes_written + m.Engine.Metrics.bytes_written;
-      out.Engine.Metrics.retries <-
-        out.Engine.Metrics.retries + m.Engine.Metrics.retries;
-      out.Engine.Metrics.corrupt_reads <-
-        out.Engine.Metrics.corrupt_reads + m.Engine.Metrics.corrupt_reads)
-    ms;
+  List.iter (fun m -> Engine.Metrics.merge ~into:out m) ms;
   out
 
 let stats (p : prepared) (props : property_result list) : stats =
@@ -883,6 +883,32 @@ let stats (p : prepared) (props : property_result list) : stats =
      active fault plan those loads can themselves be retried — summing the
      metrics afterwards keeps such retries visible in [n_retried] *)
   let m = combine_metrics (alias_m :: df_ms) in
+  let count c = Engine.Metrics.count c in
+  let n_retried = p.faults.n_retried + count m.Engine.Metrics.retries in
+  let n_smt_budget_hits =
+    max 0
+      (Atomic.get Smt.Solver.stats.Smt.Solver.budget_hits
+      - p.faults.smt_budget_hits0)
+  in
+  let n_faults_injected =
+    max 0 (Engine.Faults.injected_count () - p.faults.faults_injected0)
+    + p.faults.n_instance_injected
+  in
+  (* enrich the merged registry with the pipeline- and solver-level numbers
+     so [--metrics-json] is one self-contained document *)
+  let reg = Engine.Metrics.registry m in
+  let set_g name v = Obs.Registry.gauge_set (Obs.Registry.gauge reg name) v in
+  let set_c name v = Obs.Registry.set (Obs.Registry.counter reg name) v in
+  set_g "pipeline.preprocess_s" p.timing.preprocess_s;
+  set_g "pipeline.compute_s" p.timing.compute_s;
+  set_g "pipeline.check_s" p.timing.check_s;
+  set_c "pipeline.prefiltered" (List.length p.prefiltered);
+  set_c "pipeline.summary_pruned" (List.length p.summary_pruned);
+  set_c "pipeline.retried" n_retried;
+  set_c "pipeline.recovered" p.faults.n_recovered;
+  set_c "pipeline.inconclusive" p.faults.n_inconclusive;
+  set_c "pipeline.faults_injected" n_faults_injected;
+  set_c "smt.budget_hits" n_smt_budget_hits;
   { n_vertices;
     n_edges_before;
     n_edges_after;
@@ -890,26 +916,25 @@ let stats (p : prepared) (props : property_result list) : stats =
     compute_s = p.timing.compute_s;
     total_s = p.timing.preprocess_s +. p.timing.compute_s +. p.timing.check_s;
     n_partitions;
-    n_iterations = m.Engine.Metrics.pairs_processed;
-    n_constraints_solved = m.Engine.Metrics.constraints_solved;
-    cache_lookups = m.Engine.Metrics.cache_lookups;
-    cache_hits = m.Engine.Metrics.cache_hits;
-    solve_s = m.Engine.Metrics.solve_s;
+    n_iterations = count m.Engine.Metrics.pairs_processed;
+    n_constraints_solved = count m.Engine.Metrics.constraints_solved;
+    cache_enabled = p.config.engine.Engine.cache_enabled;
+    cache_lookups = count m.Engine.Metrics.cache_lookups;
+    cache_hits = count m.Engine.Metrics.cache_hits;
+    solve_s = Engine.Metrics.seconds m.Engine.Metrics.solve_s;
+    bytes_read = count m.Engine.Metrics.bytes_read;
+    bytes_written = count m.Engine.Metrics.bytes_written;
     breakdown = Engine.Metrics.breakdown m;
     n_prefiltered = List.length p.prefiltered;
     n_summary_pruned = List.length p.summary_pruned;
-    edges_added = m.Engine.Metrics.edges_added;
-    n_retried = p.faults.n_retried + m.Engine.Metrics.retries;
+    edges_added = count m.Engine.Metrics.edges_added;
+    n_retried;
     n_recovered = p.faults.n_recovered;
     n_inconclusive = p.faults.n_inconclusive;
-    n_smt_budget_hits =
-      max 0
-        (Atomic.get Smt.Solver.stats.Smt.Solver.budget_hits
-        - p.faults.smt_budget_hits0);
-    n_faults_injected =
-      max 0 (Engine.Faults.injected_count () - p.faults.faults_injected0)
-      + p.faults.n_instance_injected;
-    n_corrupt_recovered = m.Engine.Metrics.corrupt_reads }
+    n_smt_budget_hits;
+    n_faults_injected;
+    n_corrupt_recovered = count m.Engine.Metrics.corrupt_reads;
+    registry = reg }
 
 (* Convenience wrapper: run every phase for a list of properties.  The
    pre-filter defaults to resolving against exactly the properties being

@@ -160,7 +160,11 @@ module Make (L : LABEL_LOGIC) = struct
       ran = false;
       run_start = 0. }
 
-  let metrics t = t.metrics
+  (* Sync pull-style counts (the LRU's eviction tally) into the registry on
+     read.  [set] makes repeated reads idempotent. *)
+  let metrics t =
+    Metrics.set_count t.metrics.Metrics.cache_evictions (Lru.evictions t.cache);
+    t.metrics
 
   (* ---------------- fault absorption and budgets ---------------- *)
 
@@ -174,7 +178,10 @@ module Make (L : LABEL_LOGIC) = struct
       with (Faults.Injected _ | Sys_error _) as exn ->
         if attempt >= t.config.max_retries then raise exn
         else begin
-          t.metrics.Metrics.retries <- t.metrics.Metrics.retries + 1;
+          Metrics.incr t.metrics.Metrics.retries;
+          Obs.Trace.instant ~cat:"storage"
+            ~args:[ ("attempt", Obs.Trace.Int attempt) ]
+            "storage.retry";
           Unix.sleepf
             (backoff_delay_s ~seed:t.config.retry_seed
                ~base_ms:t.config.retry_base_ms ~attempt);
@@ -185,11 +192,12 @@ module Make (L : LABEL_LOGIC) = struct
 
   let check_budgets t =
     let c = t.config in
-    if c.edge_budget > 0 && t.metrics.Metrics.edges_added > c.edge_budget then
+    let edges_added = Metrics.count t.metrics.Metrics.edges_added in
+    if c.edge_budget > 0 && edges_added > c.edge_budget then
       raise
         (Budget_exhausted
-           (Printf.sprintf "edge budget exhausted (%d > %d)"
-              t.metrics.Metrics.edges_added c.edge_budget));
+           (Printf.sprintf "edge budget exhausted (%d > %d)" edges_added
+              c.edge_budget));
     if
       c.wall_budget_s > 0. && t.run_start > 0.
       && Unix.gettimeofday () -. t.run_start > c.wall_budget_s
@@ -258,11 +266,18 @@ module Make (L : LABEL_LOGIC) = struct
     if not t.config.feasibility_enabled then true
     else begin
       let m = t.metrics in
-      m.Metrics.cache_lookups <- m.Metrics.cache_lookups + 1;
-      let cached = if t.config.cache_enabled then Lru.find t.cache enc else None in
+      (* a disabled cache is never consulted, so it must not count lookups:
+         otherwise stats report a 0% hit rate for a cache that is off *)
+      let cached =
+        if t.config.cache_enabled then begin
+          Metrics.incr m.Metrics.cache_lookups;
+          Lru.find t.cache enc
+        end
+        else None
+      in
       match cached with
       | Some answer ->
-          m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
+          Metrics.incr m.Metrics.cache_hits;
           answer
       | None ->
           let formula = Metrics.time m `Decode (fun () -> t.decode enc) in
@@ -272,7 +287,7 @@ module Make (L : LABEL_LOGIC) = struct
                 | Solver.Sat | Solver.Unknown -> true
                 | Solver.Unsat -> false)
           in
-          m.Metrics.constraints_solved <- m.Metrics.constraints_solved + 1;
+          Metrics.incr m.Metrics.constraints_solved;
           if t.config.cache_enabled then Lru.add t.cache enc answer;
           answer
     end
@@ -329,13 +344,16 @@ module Make (L : LABEL_LOGIC) = struct
       label = L.of_int r.Storage.label; enc = r.Storage.enc }
 
   let load t (meta : pmeta) : loaded =
+    Obs.Trace.with_span ~cat:"engine"
+      ~args:[ ("pid", Obs.Trace.Int meta.pid) ]
+      "engine.load"
+    @@ fun () ->
     let outcome =
       Metrics.time t.metrics `Io (fun () ->
           with_retries t (fun () -> Storage.read_file ~path:meta.path))
     in
     let raw = outcome.Storage.edges in
-    t.metrics.Metrics.bytes_read <-
-      t.metrics.Metrics.bytes_read + outcome.Storage.bytes;
+    Metrics.add t.metrics.Metrics.bytes_read outcome.Storage.bytes;
     let l =
       { meta; all = []; by_src = Hashtbl.create 1024;
         by_dst = Hashtbl.create 1024; present = Hashtbl.create 4096;
@@ -373,7 +391,11 @@ module Make (L : LABEL_LOGIC) = struct
         Logs.warn (fun k ->
             k "partition %s: %a — kept %d-record prefix"
               (Filename.basename meta.path) Storage.pp_corruption c l.count);
-        t.metrics.Metrics.corrupt_reads <- t.metrics.Metrics.corrupt_reads + 1;
+        Metrics.incr t.metrics.Metrics.corrupt_reads;
+        Obs.Trace.instant ~cat:"storage"
+          ~args:[ ("pid", Obs.Trace.Int meta.pid);
+                  ("kept_records", Obs.Trace.Int l.count) ]
+          "storage.corrupt_recovered";
         l.dirty <- true);
     l
 
@@ -409,13 +431,19 @@ module Make (L : LABEL_LOGIC) = struct
   (* Write a loaded partition back, splitting it if it outgrew the memory
      budget (eager repartitioning, §4.3). *)
   let flush t (l : loaded) : unit =
+    Obs.Trace.with_span ~cat:"engine"
+      ~args:[ ("pid", Obs.Trace.Int l.meta.pid);
+              ("edges", Obs.Trace.Int l.count);
+              ("dirty", Obs.Trace.Bool l.dirty) ]
+      "engine.flush"
+    @@ fun () ->
     let write_meta (meta : pmeta) edges =
       let bytes =
         Metrics.time t.metrics `Io (fun () ->
             with_retries t (fun () ->
                 Storage.write_file ~path:meta.path (List.rev_map to_raw edges)))
       in
-      t.metrics.Metrics.bytes_written <- t.metrics.Metrics.bytes_written + bytes;
+      Metrics.add t.metrics.Metrics.bytes_written bytes;
       meta.approx_edges <- List.length edges
     in
     let needs_split =
@@ -454,7 +482,13 @@ module Make (L : LABEL_LOGIC) = struct
         List.sort
           (fun a b -> compare a.lo b.lo)
           (ml :: mr :: List.filter (fun p -> p.pid <> l.meta.pid) t.parts);
-      t.metrics.Metrics.repartitions <- t.metrics.Metrics.repartitions + 1
+      Metrics.incr t.metrics.Metrics.repartitions;
+      Obs.Trace.instant ~cat:"engine"
+        ~args:[ ("split_pid", Obs.Trace.Int l.meta.pid);
+                ("cut", Obs.Trace.Int cut);
+                ("left_pid", Obs.Trace.Int ml.pid);
+                ("right_pid", Obs.Trace.Int mr.pid) ]
+        "engine.repartition"
     end
 
   (* ---------------- preprocessing ---------------- *)
@@ -521,8 +555,7 @@ module Make (L : LABEL_LOGIC) = struct
               with_retries t (fun () ->
                   Storage.write_file ~path:meta.path (List.map to_raw edges)))
         in
-        t.metrics.Metrics.bytes_written <-
-          t.metrics.Metrics.bytes_written + bytes;
+        Metrics.add t.metrics.Metrics.bytes_written bytes;
         meta.approx_edges <- List.length edges)
       metas;
     t.parts <- metas
@@ -547,7 +580,7 @@ module Make (L : LABEL_LOGIC) = struct
       match find_loaded e.src with
       | Some l ->
           if insert t l e then begin
-            m.Metrics.edges_added <- m.Metrics.edges_added + 1;
+            Metrics.incr m.Metrics.edges_added;
             Queue.add e queue;
             List.iter
               (fun d ->
@@ -571,7 +604,7 @@ module Make (L : LABEL_LOGIC) = struct
       match L.compose e1.label e2.label with
       | None -> ()
       | Some l3 -> (
-          m.Metrics.edges_considered <- m.Metrics.edges_considered + 1;
+          Metrics.incr m.Metrics.edges_considered;
           match Encoding.compose_normalized e1.enc e2.enc with
           | enc ->
               let cap = t.config.max_path_elements in
@@ -591,17 +624,28 @@ module Make (L : LABEL_LOGIC) = struct
           let unknown = Hashtbl.create 64 in
           List.iter
             (fun (e : edge) ->
-              m.Metrics.cache_lookups <- m.Metrics.cache_lookups + 1;
+              (* as in [feasible]: a disabled cache counts no lookups *)
               match
-                if t.config.cache_enabled then Lru.find t.cache e.enc else None
+                if t.config.cache_enabled then begin
+                  Metrics.incr m.Metrics.cache_lookups;
+                  Lru.find t.cache e.enc
+                end
+                else None
               with
-              | Some _ -> m.Metrics.cache_hits <- m.Metrics.cache_hits + 1
+              | Some _ -> Metrics.incr m.Metrics.cache_hits
               | None ->
                   if not (Hashtbl.mem unknown e.enc) then
                     Hashtbl.replace unknown e.enc ())
             cands;
           let to_solve = Hashtbl.fold (fun enc () acc -> enc :: acc) unknown [] in
+          let n_to_solve = List.length to_solve in
+          let batch_t0 = Unix.gettimeofday () in
           let solved =
+            Obs.Trace.with_span ~cat:"smt"
+              ~args:[ ("batch_size", Obs.Trace.Int n_to_solve);
+                      ("solver_domains", Obs.Trace.Int t.config.solver_domains) ]
+              "smt.solve_batch"
+            @@ fun () ->
             if t.config.solver_domains <= 1 then
               List.map
                 (fun enc ->
@@ -619,8 +663,10 @@ module Make (L : LABEL_LOGIC) = struct
                  timer (per-domain timers cannot be split) *)
               Metrics.time m `Solve (fun () -> solve_batch t to_solve)
           in
-          m.Metrics.constraints_solved <-
-            m.Metrics.constraints_solved + List.length solved;
+          if n_to_solve > 0 then
+            Metrics.observe_batch m ~n:n_to_solve
+              ~dt:(Unix.gettimeofday () -. batch_t0);
+          Metrics.add m.Metrics.constraints_solved (List.length solved);
           let verdicts = Hashtbl.create 64 in
           List.iter
             (fun (enc, ok) ->
@@ -693,22 +739,25 @@ module Make (L : LABEL_LOGIC) = struct
                       Storage.append_file ~path:meta.path
                         (List.map to_raw !edges)))
             in
-            t.metrics.Metrics.bytes_written <-
-              t.metrics.Metrics.bytes_written + bytes;
+            Metrics.add t.metrics.Metrics.bytes_written bytes;
             meta.approx_edges <- meta.approx_edges + List.length !edges;
             meta.version <- meta.version + 1)
       by_owner
 
   (* Process one scheduled pair of partitions. *)
   let process_pair t (pa : pmeta) (pb : pmeta) : unit =
-    t.metrics.Metrics.pairs_processed <- t.metrics.Metrics.pairs_processed + 1;
+    Obs.Trace.with_span ~cat:"engine"
+      ~args:[ ("pa", Obs.Trace.Int pa.pid); ("pb", Obs.Trace.Int pb.pid) ]
+      "engine.pair"
+    @@ fun () ->
+    Metrics.incr t.metrics.Metrics.pairs_processed;
     let loadeds =
       if pa.pid = pb.pid then [ load t pa ] else [ load t pa; load t pb ]
     in
     let pending = ref [] in
     let route (e : edge) =
       pending := e :: !pending;
-      t.metrics.Metrics.edges_added <- t.metrics.Metrics.edges_added + 1
+      Metrics.incr t.metrics.Metrics.edges_added
     in
     local_fixpoint t loadeds ~route;
     List.iter (fun l -> flush t l) loadeds;
@@ -741,8 +790,12 @@ module Make (L : LABEL_LOGIC) = struct
       { Manifest.next_pid = t.next_pid; max_vertex = t.max_vertex;
         n_seed_edges = t.n_seed_edges; parts; processed = frontier }
     in
-    Metrics.time t.metrics `Io (fun () ->
-        with_retries t (fun () -> Manifest.save ~workdir:t.config.workdir m));
+    Obs.Trace.with_span ~cat:"engine"
+      ~args:[ ("parts", Obs.Trace.Int (List.length parts)) ]
+      "engine.checkpoint"
+      (fun () ->
+        Metrics.time t.metrics `Io (fun () ->
+            with_retries t (fun () -> Manifest.save ~workdir:t.config.workdir m)));
     Faults.on_checkpoint ()
 
   (* Restore partition metadata and the scheduler frontier from the last

@@ -174,6 +174,9 @@ let nth_hit p kind count =
 
 let inject p msg =
   p.n_injected <- p.n_injected + 1;
+  Obs.Trace.instant ~cat:"faults"
+    ~args:[ ("msg", Obs.Trace.Str msg); ("nth", Obs.Trace.Int p.n_injected) ]
+    "fault.injected";
   raise (Injected msg)
 
 (* ---------------- hooks called by the storage layer ---------------- *)

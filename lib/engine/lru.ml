@@ -15,12 +15,13 @@ type ('k, 'v) t = {
   mutable head : ('k, 'v) node option;  (* most recently used *)
   mutable tail : ('k, 'v) node option;  (* least recently used *)
   mutable size : int;
+  mutable evictions : int;
 }
 
 let create capacity =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
   { capacity; table = Hashtbl.create (min capacity 4096); head = None;
-    tail = None; size = 0 }
+    tail = None; size = 0; evictions = 0 }
 
 let unlink t node =
   (match node.prev with
@@ -53,7 +54,8 @@ let evict_lru t =
   | Some node ->
       unlink t node;
       Hashtbl.remove t.table node.key;
-      t.size <- t.size - 1
+      t.size <- t.size - 1;
+      t.evictions <- t.evictions + 1
 
 let add t key value =
   match Hashtbl.find_opt t.table key with
@@ -70,6 +72,7 @@ let add t key value =
 
 let size t = t.size
 let capacity t = t.capacity
+let evictions t = t.evictions
 
 let clear t =
   Hashtbl.reset t.table;

@@ -14,6 +14,11 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 
 val size : ('k, 'v) t -> int
 val capacity : ('k, 'v) t -> int
+
+val evictions : ('k, 'v) t -> int
+(** Entries displaced by capacity pressure since [create].  [clear] does
+    not reset the count. *)
+
 val clear : ('k, 'v) t -> unit
 
 val keys : ('k, 'v) t -> 'k list

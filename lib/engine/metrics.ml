@@ -1,61 +1,130 @@
-(* Wall-clock and counter instrumentation for the engine, split into the
-   four components of the paper's Figure 9: I/O, constraint
-   encoding/decoding, SMT solving, and (in-memory) edge-pair computation. *)
+(* Wall-clock and counter instrumentation for the engine, built on the
+   observability registry (Obs.Registry).  The timers split into the four
+   components of the paper's Figure 9: I/O, constraint encoding/decoding,
+   SMT solving, and (in-memory) edge-pair computation; the counters cover
+   solving, caching, edge derivation, partitioning, and storage-fault
+   recovery; two histograms profile the batched SMT path.
+
+   Each engine owns one [t] (one registry): an engine runs in a single
+   domain, so updates need no synchronization.  Aggregation across engines
+   — and therefore across worker domains — goes through [merge], which the
+   registry performs in canonical (sorted-name) order, so totals are
+   identical at every worker count. *)
+
+module R = Obs.Registry
 
 type t = {
-  mutable io_s : float;
-  mutable decode_s : float;
-  mutable solve_s : float;
-  mutable join_s : float;
-  mutable constraints_solved : int;   (* actual solver invocations *)
-  mutable cache_lookups : int;
-  mutable cache_hits : int;
-  mutable edges_added : int;          (* transitive edges that survived *)
-  mutable edges_considered : int;     (* candidate pairs that matched grammar *)
-  mutable pairs_processed : int;      (* partition-pair loads: "iterations" *)
-  mutable repartitions : int;
-  mutable bytes_read : int;
-  mutable bytes_written : int;
-  mutable retries : int;              (* storage ops retried after a fault *)
-  mutable corrupt_reads : int;        (* reads recovered from a damaged tail *)
+  reg : R.t;
+  io_s : R.gauge;
+  decode_s : R.gauge;
+  solve_s : R.gauge;
+  join_s : R.gauge;
+  constraints_solved : R.counter;  (* actual solver invocations *)
+  cache_lookups : R.counter;       (* lookups against an *enabled* cache *)
+  cache_hits : R.counter;
+  cache_evictions : R.counter;     (* LRU entries displaced when full *)
+  edges_added : R.counter;         (* transitive edges that survived *)
+  edges_considered : R.counter;    (* candidate pairs that matched grammar *)
+  pairs_processed : R.counter;     (* partition-pair loads: "iterations" *)
+  repartitions : R.counter;
+  bytes_read : R.counter;
+  bytes_written : R.counter;
+  retries : R.counter;             (* storage ops retried after a fault *)
+  corrupt_reads : R.counter;       (* reads recovered from a damaged tail *)
+  batch_sizes : R.histogram;       (* encodings per SMT solving batch *)
+  batch_solve_ms : R.histogram;    (* wall ms per SMT solving batch *)
 }
 
+let batch_size_bounds =
+  [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+
+let batch_ms_bounds =
+  [| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000. |]
+
 let create () =
-  { io_s = 0.; decode_s = 0.; solve_s = 0.; join_s = 0.;
-    constraints_solved = 0; cache_lookups = 0; cache_hits = 0;
-    edges_added = 0; edges_considered = 0; pairs_processed = 0;
-    repartitions = 0; bytes_read = 0; bytes_written = 0;
-    retries = 0; corrupt_reads = 0 }
+  let reg = R.create () in
+  { reg;
+    io_s = R.gauge reg "engine.io_s";
+    decode_s = R.gauge reg "engine.decode_s";
+    solve_s = R.gauge reg "engine.solve_s";
+    join_s = R.gauge reg "engine.join_s";
+    constraints_solved = R.counter reg "engine.constraints_solved";
+    cache_lookups = R.counter reg "engine.cache_lookups";
+    cache_hits = R.counter reg "engine.cache_hits";
+    cache_evictions = R.counter reg "engine.cache_evictions";
+    edges_added = R.counter reg "engine.edges_added";
+    edges_considered = R.counter reg "engine.edges_considered";
+    pairs_processed = R.counter reg "engine.pairs_processed";
+    repartitions = R.counter reg "engine.repartitions";
+    bytes_read = R.counter reg "engine.bytes_read";
+    bytes_written = R.counter reg "engine.bytes_written";
+    retries = R.counter reg "engine.retries";
+    corrupt_reads = R.counter reg "engine.corrupt_reads";
+    batch_sizes = R.histogram ~bounds:batch_size_bounds reg "smt.batch_size";
+    batch_solve_ms = R.histogram ~bounds:batch_ms_bounds reg "smt.batch_solve_ms"
+  }
 
+let registry (m : t) = m.reg
+
+(* re-exported registry primitives, so call sites read [Metrics.incr] *)
+let incr = R.incr ?by:None
+let add c n = R.incr ~by:n c
+let count = R.value
+let set_count = R.set
+let seconds = R.gauge_value
+
+let timer_of (m : t) = function
+  | `Io -> m.io_s
+  | `Decode -> m.decode_s
+  | `Solve -> m.solve_s
+  | `Join -> m.join_s
+
+(* Time [f] into the chosen component.  The delta is recorded in a
+   finalizer so that a raising [f] — a budget abort, an injected fault —
+   still contributes its elapsed time instead of silently dropping it. *)
 let time (m : t) (field : [ `Io | `Decode | `Solve | `Join ]) f =
+  let cell = timer_of m field in
   let t0 = Unix.gettimeofday () in
-  let r = f () in
-  let dt = Unix.gettimeofday () -. t0 in
-  (match field with
-  | `Io -> m.io_s <- m.io_s +. dt
-  | `Decode -> m.decode_s <- m.decode_s +. dt
-  | `Solve -> m.solve_s <- m.solve_s +. dt
-  | `Join -> m.join_s <- m.join_s +. dt);
-  r
+  Fun.protect
+    ~finally:(fun () -> R.gauge_add cell (Unix.gettimeofday () -. t0))
+    f
 
-let hit_rate (m : t) =
-  if m.cache_lookups = 0 then 0.
-  else float_of_int m.cache_hits /. float_of_int m.cache_lookups
+(* One batched SMT resolution: [n] encodings decided in [dt] seconds. *)
+let observe_batch (m : t) ~n ~dt =
+  R.observe m.batch_sizes (float_of_int n);
+  R.observe m.batch_solve_ms (dt *. 1000.)
+
+(* [None] when no lookup was ever counted — the cache is disabled or was
+   never consulted — so callers can render "off" instead of a fake 0%. *)
+let hit_rate (m : t) : float option =
+  let lookups = count m.cache_lookups in
+  if lookups = 0 then None
+  else Some (float_of_int (count m.cache_hits) /. float_of_int lookups)
 
 (* The Figure 9 percentages.  The join timer runs around the whole pair
    computation, so subtract the nested decode/solve time from it. *)
 let breakdown (m : t) : (string * float) list =
-  let join = Float.max 0. (m.join_s -. m.decode_s -. m.solve_s) in
-  let total = m.io_s +. m.decode_s +. m.solve_s +. join in
+  let io = seconds m.io_s
+  and decode = seconds m.decode_s
+  and solve = seconds m.solve_s in
+  let join = Float.max 0. (seconds m.join_s -. decode -. solve) in
+  let total = io +. decode +. solve +. join in
   let pct x = if total = 0. then 0. else 100. *. x /. total in
-  [ ("I/O", pct m.io_s);
-    ("Constraint lookup", pct m.decode_s);
-    ("SMT solving", pct m.solve_s);
+  [ ("I/O", pct io);
+    ("Constraint lookup", pct decode);
+    ("SMT solving", pct solve);
     ("Edge computation", pct join) ]
 
+let merge ~(into : t) (m : t) = R.merge ~into:into.reg m.reg
+
 let pp ppf (m : t) =
-  Fmt.pf ppf
+  Format.fprintf ppf
     "io=%.2fs decode=%.2fs solve=%.2fs join=%.2fs solved=%d hits=%d/%d \
-     edges+=%d pairs=%d repart=%d"
-    m.io_s m.decode_s m.solve_s m.join_s m.constraints_solved m.cache_hits
-    m.cache_lookups m.edges_added m.pairs_processed m.repartitions
+     evictions=%d edges+=%d considered=%d pairs=%d repart=%d bytes=%d/%d \
+     retries=%d corrupt=%d"
+    (seconds m.io_s) (seconds m.decode_s) (seconds m.solve_s)
+    (seconds m.join_s) (count m.constraints_solved) (count m.cache_hits)
+    (count m.cache_lookups) (count m.cache_evictions) (count m.edges_added)
+    (count m.edges_considered) (count m.pairs_processed)
+    (count m.repartitions) (count m.bytes_read) (count m.bytes_written)
+    (count m.retries) (count m.corrupt_reads)

@@ -172,7 +172,7 @@ let test_repartitioning () =
   AEngine.run t;
   Alcotest.(check bool) "partitions split" true (AEngine.n_partitions t > 1);
   Alcotest.(check bool) "repartitions counted" true
-    ((AEngine.metrics t).Engine.Metrics.repartitions > 0);
+    (Engine.Metrics.count (AEngine.metrics t).Engine.Metrics.repartitions > 0);
   (* closure is still complete after splits *)
   Alcotest.(check int) "flowsTo complete" 20 (count_label t Pg.Flows_to)
 
@@ -186,10 +186,46 @@ let test_cache_counters () =
   seed_chain t 6;
   AEngine.run t;
   let m = AEngine.metrics t in
-  Alcotest.(check bool) "lookups happened" true (m.Engine.Metrics.cache_lookups > 0);
-  Alcotest.(check bool) "some hits" true (m.Engine.Metrics.cache_hits > 0);
+  Alcotest.(check bool) "lookups happened" true (Engine.Metrics.count m.Engine.Metrics.cache_lookups > 0);
+  Alcotest.(check bool) "some hits" true (Engine.Metrics.count m.Engine.Metrics.cache_hits > 0);
   Alcotest.(check bool) "solved <= lookups" true
-    (m.Engine.Metrics.constraints_solved <= m.Engine.Metrics.cache_lookups)
+    (Engine.Metrics.count m.Engine.Metrics.constraints_solved
+    <= Engine.Metrics.count m.Engine.Metrics.cache_lookups)
+
+(* regression: [Metrics.time] used to drop the elapsed time when the timed
+   function raised, under-reporting every component that ever aborted
+   (budget exhaustion, injected faults) *)
+let test_metrics_time_records_on_raise () =
+  let m = Engine.Metrics.create () in
+  (try
+     Engine.Metrics.time m `Solve (fun () ->
+         Unix.sleepf 0.02;
+         raise Exit)
+   with Exit -> ());
+  Alcotest.(check bool) "elapsed time survives the raise" true
+    (Engine.Metrics.seconds m.Engine.Metrics.solve_s >= 0.01)
+
+(* regression: the engine used to count a cache lookup (never a hit) even
+   with [cache_enabled = false], reporting a fake 0% hit rate *)
+let test_cache_disabled_counts_no_lookups () =
+  let workdir = fresh_workdir () in
+  let config =
+    { (Engine.default_config ~workdir) with
+      Engine.target_partitions = 2;
+      cache_enabled = false }
+  in
+  let t = AEngine.create ~config ~decode:true_decode ~workdir () in
+  seed_chain t 6;
+  AEngine.run t;
+  let m = AEngine.metrics t in
+  Alcotest.(check int) "no lookups against a disabled cache" 0
+    (Engine.Metrics.count m.Engine.Metrics.cache_lookups);
+  Alcotest.(check int) "no hits either" 0
+    (Engine.Metrics.count m.Engine.Metrics.cache_hits);
+  Alcotest.(check bool) "hit rate is None, not a fake 0%" true
+    (Engine.Metrics.hit_rate m = None);
+  Alcotest.(check bool) "work still happened" true
+    (Engine.Metrics.count m.Engine.Metrics.constraints_solved > 0)
 
 let test_constraint_pruning () =
   (* a decode that rejects any encoding mentioning node 13 *)
@@ -426,6 +462,10 @@ let suite =
     Alcotest.test_case "field mismatch" `Quick test_closure_field_mismatch;
     Alcotest.test_case "eager repartitioning" `Quick test_repartitioning;
     Alcotest.test_case "cache counters" `Quick test_cache_counters;
+    Alcotest.test_case "metrics time on raise" `Quick
+      test_metrics_time_records_on_raise;
+    Alcotest.test_case "disabled cache counts nothing" `Quick
+      test_cache_disabled_counts_no_lookups;
     Alcotest.test_case "constraint pruning" `Quick test_constraint_pruning;
     Alcotest.test_case "encodings-per-key cap" `Quick test_encodings_per_key_cap;
     Alcotest.test_case "breakdown sums to 100" `Quick test_metrics_breakdown_sums_to_100;

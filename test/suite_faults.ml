@@ -233,7 +233,7 @@ let test_engine_identical_under_rate_faults () =
         Alcotest.(check bool) "faults actually fired" true
           (Faults.injected_count () > 0);
         Alcotest.(check bool) "retries recorded" true
-          ((AEngine.metrics t).Engine.Metrics.retries > 0);
+          (Engine.Metrics.count (AEngine.metrics t).Engine.Metrics.retries > 0);
         t)
   in
   Alcotest.(check bool) "closure identical" true (facts t = expect);

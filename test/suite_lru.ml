@@ -1,0 +1,88 @@
+(* Focused tests for the LRU map beyond the smoke coverage in
+   [Suite_engine]: recency semantics of re-adding an existing key, the
+   degenerate capacity-1 cache, clear-then-reuse, the [keys] recency
+   ordering, and the eviction counter. *)
+
+module Lru = Engine.Lru
+
+(* Re-adding an existing key must refresh its recency, not insert a
+   duplicate: after re-adding "a", the eviction victim is "b". *)
+let test_readd_refreshes_recency () =
+  let c = Lru.create 2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "a" 10;  (* "a" becomes most recent; "b" is now LRU *)
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept, updated" (Some 10) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "size stays at capacity" 2 (Lru.size c)
+
+let test_capacity_one () =
+  let c = Lru.create 1 in
+  Lru.add c 1 "one";
+  Alcotest.(check (option string)) "holds one entry" (Some "one") (Lru.find c 1);
+  Lru.add c 2 "two";
+  Alcotest.(check (option string)) "previous evicted" None (Lru.find c 1);
+  Alcotest.(check (option string)) "newest kept" (Some "two") (Lru.find c 2);
+  Alcotest.(check int) "size is 1" 1 (Lru.size c);
+  (* updating the sole key in place must not evict it *)
+  Lru.add c 2 "two'";
+  Alcotest.(check (option string)) "in-place update" (Some "two'") (Lru.find c 2);
+  Alcotest.(check int) "still 1" 1 (Lru.size c)
+
+let test_clear_then_reuse () =
+  let c = Lru.create 3 in
+  Lru.add c 1 ();
+  Lru.add c 2 ();
+  Lru.add c 3 ();
+  Lru.clear c;
+  Alcotest.(check int) "empty after clear" 0 (Lru.size c);
+  Alcotest.(check (list int)) "no keys" [] (Lru.keys c);
+  Alcotest.(check (option unit)) "old entries gone" None (Lru.find c 2);
+  (* the cleared cache must be fully functional, including eviction *)
+  Lru.add c 4 ();
+  Lru.add c 5 ();
+  Lru.add c 6 ();
+  Lru.add c 7 ();
+  Alcotest.(check int) "refilled to capacity" 3 (Lru.size c);
+  Alcotest.(check (option unit)) "oldest of the refill evicted" None
+    (Lru.find c 4);
+  Alcotest.(check (list int)) "recency order after refill" [ 7; 6; 5 ]
+    (Lru.keys c)
+
+let test_keys_recency_order () =
+  let c = Lru.create 4 in
+  Lru.add c 1 ();
+  Lru.add c 2 ();
+  Lru.add c 3 ();
+  Lru.add c 4 ();
+  Alcotest.(check (list int)) "insertion order" [ 4; 3; 2; 1 ] (Lru.keys c);
+  ignore (Lru.find c 2);  (* a hit moves the key to the front *)
+  Alcotest.(check (list int)) "find refreshes" [ 2; 4; 3; 1 ] (Lru.keys c);
+  ignore (Lru.find c 99);  (* a miss changes nothing *)
+  Alcotest.(check (list int)) "miss is inert" [ 2; 4; 3; 1 ] (Lru.keys c);
+  Lru.add c 3 ();  (* re-add behaves like a hit *)
+  Alcotest.(check (list int)) "re-add refreshes" [ 3; 2; 4; 1 ] (Lru.keys c)
+
+let test_eviction_counter () =
+  let c = Lru.create 2 in
+  Alcotest.(check int) "starts at zero" 0 (Lru.evictions c);
+  Lru.add c 1 ();
+  Lru.add c 2 ();
+  Alcotest.(check int) "filling does not evict" 0 (Lru.evictions c);
+  Lru.add c 1 ();  (* update in place: no eviction *)
+  Alcotest.(check int) "update does not evict" 0 (Lru.evictions c);
+  Lru.add c 3 ();
+  Lru.add c 4 ();
+  Alcotest.(check int) "two displacements counted" 2 (Lru.evictions c);
+  Lru.clear c;
+  Alcotest.(check int) "clear is not an eviction" 2 (Lru.evictions c)
+
+let suite =
+  [ Alcotest.test_case "re-add refreshes recency" `Quick
+      test_readd_refreshes_recency;
+    Alcotest.test_case "capacity one" `Quick test_capacity_one;
+    Alcotest.test_case "clear then reuse" `Quick test_clear_then_reuse;
+    Alcotest.test_case "keys recency order" `Quick test_keys_recency_order;
+    Alcotest.test_case "eviction counter" `Quick test_eviction_counter ]

@@ -16,6 +16,8 @@ let () =
       ("encoding", Suite_encoding.suite);
       ("symexec", Suite_symexec.suite);
       ("grammar", Suite_grammar.suite);
+      ("obs", Suite_obs.suite);
+      ("lru", Suite_lru.suite);
       ("engine", Suite_engine.suite);
       ("fsm", Suite_fsm.suite);
       ("graphgen", Suite_graphgen.suite);
