@@ -41,10 +41,19 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JIR source file")
 
 let checkers_arg =
-  Arg.(value & opt string "io,lock,exception,socket"
+  Arg.(value & opt (some string) None
        & info [ "checkers" ] ~docv:"LIST"
-           ~doc:"comma-separated checker names, or `all' for every \
-                 registered checker")
+           ~doc:"comma-separated checker names (built-in, DSL-defined, or \
+                 loaded with $(b,--spec)), or `all' for every registered \
+                 checker.  Default: the paper's four checkers, or the \
+                 loaded spec's properties when $(b,--spec) is given")
+
+let spec_arg =
+  Arg.(value & opt_all file []
+       & info [ "spec" ] ~docv:"FILE"
+           ~doc:"load typestate properties from a .gspec file (repeatable); \
+                 the loaded checkers run by default and take precedence \
+                 over same-named built-ins")
 
 let unroll_arg =
   Arg.(value & opt int 2 & info [ "unroll" ] ~docv:"K" ~doc:"loop unroll bound")
@@ -76,17 +85,42 @@ let no_prefilter_arg =
            ~doc:"disable the escape-based pre-filter; every tracked \
                  allocation goes through the engine")
 
-let checker_of_name s =
-  match Checkers.find s with
-  | Some c -> c
-  | None ->
-      Printf.eprintf "unknown checker %S (available: %s, all)\n" s
-        (String.concat ", " (Checkers.names ()));
+(* Checkers loaded from --spec files; a positioned diagnostic exits 2. *)
+let load_specs files =
+  List.concat_map
+    (fun path ->
+      match Spec.compile_file path with
+      | cs -> List.map Checkers.of_spec cs
+      | exception Spec.Spec_error (pos, msg) ->
+          prerr_endline (Spec.error_to_string (pos, msg));
+          exit 2)
+    files
+
+let checker_of_name ~loaded s =
+  match Checkers.resolve ~loaded s with
+  | c -> c
+  | exception Invalid_argument msg ->
+      prerr_endline msg;
       exit 2
 
-let checker_names spec =
-  if String.trim spec = "all" then Checkers.names ()
-  else String.split_on_char ',' spec
+let checker_names ~loaded spec =
+  match spec with
+  | None ->
+      if loaded <> [] then List.map (fun (c : Checkers.t) -> c.Checkers.name) loaded
+      else Checkers.names () |> List.filter (fun n -> n <> "null")
+  | Some spec ->
+      if String.trim spec = "all" then
+        (* loaded checkers shadow same-named built-ins, so drop duplicates
+           (first occurrence wins: the report keeps the built-in order) *)
+        let all =
+          Checkers.names ()
+          @ List.map (fun (c : Checkers.t) -> c.Checkers.name) loaded
+        in
+        List.fold_left
+          (fun acc n -> if List.mem n acc then acc else n :: acc)
+          [] all
+        |> List.rev
+      else String.split_on_char ',' spec
 
 let no_summary_prefilter_arg =
   Arg.(value & flag
@@ -162,7 +196,7 @@ let smt_budget_arg =
                  feasible, counted in the smt-budget-hits stat")
 
 let check_cmd =
-  let run file checkers unroll paths trace_out metrics_out json no_prefilter
+  let run file checkers specs unroll paths trace_out metrics_out json no_prefilter
       no_summary_prefilter workdir_opt resume_opt instance_budget edge_budget
       max_retries fault_plan smt_budget workers_opt admission_budget =
     let workers =
@@ -193,14 +227,15 @@ let check_cmd =
       prerr_endline
         "warning: no `entry Class.method;` declaration -- nothing will be \
          analyzed";
-    let names = checker_names checkers in
-    let cs = List.map checker_of_name names in
+    let loaded = load_specs specs in
+    let names = checker_names ~loaded checkers in
+    let cs = List.map (checker_of_name ~loaded) names in
     let prefilter_properties =
       List.filter_map
         (fun (c : Checkers.t) ->
           match c.Checkers.kind with
           | `Typestate fsm -> Some fsm
-          | `Exception_walk -> None)
+          | `Exception_walk _ -> None)
         cs
     in
     let explicit_dir =
@@ -311,7 +346,7 @@ let check_cmd =
           stats.Grapple.Pipeline.n_faults_injected)
   in
   Cmd.v (Cmd.info "check" ~doc:"run property checkers on a JIR file")
-    Term.(const run $ file_arg $ checkers_arg $ unroll_arg $ paths_arg
+    Term.(const run $ file_arg $ checkers_arg $ spec_arg $ unroll_arg $ paths_arg
           $ trace_out_arg $ metrics_json_arg $ json_arg $ no_prefilter_arg
           $ no_summary_prefilter_arg $ workdir_arg $ resume_arg
           $ instance_budget_arg $ edge_budget_arg $ max_retries_arg
@@ -447,10 +482,54 @@ let closure_cmd =
        ~doc:"grammar-guided transitive closure over an edge-list file")
     Term.(const run $ file_arg)
 
+(* Emit a synthetic workload subject as JIR source, so CI and bench scripts
+   can run the pipeline on a generated program without linking the workload
+   library themselves. *)
+let gen_cmd =
+  let profile_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROFILE"
+             ~doc:"subject profile name (e.g. minizk, minihdfs, minitaint)")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"write the generated JIR to FILE (default: stdout)")
+  in
+  let run profile out =
+    let subjects = Workload.Generator.all_subjects () @ Workload.Generator.dsl_subjects () in
+    match
+      List.find_opt
+        (fun (s : Workload.Generator.subject) ->
+          s.Workload.Generator.profile.Workload.Generator.name = profile)
+        subjects
+    with
+    | None ->
+        Printf.eprintf "unknown profile %S (available: %s)\n" profile
+          (String.concat ", "
+             (List.map
+                (fun (s : Workload.Generator.subject) ->
+                  s.Workload.Generator.profile.Workload.Generator.name)
+                subjects));
+        exit 2
+    | Some s -> (
+        let text = Jir.Pp.program_to_string s.Workload.Generator.program in
+        match out with
+        | None -> print_string text
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"emit a synthetic benchmark subject (JIR source) by profile name")
+    Term.(const run $ profile_arg $ out_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "grapple" ~doc:"static finite-state property checking")
-          [ check_cmd; lint_cmd; cfet_cmd; graph_cmd; closure_cmd ]))
+          [ check_cmd; lint_cmd; cfet_cmd; graph_cmd; closure_cmd; gen_cmd ]))

@@ -39,12 +39,17 @@ module Linexpr = Smt.Linexpr
 module Formula = Smt.Formula
 
 type path = {
-  events : (string * Jir.Ast.stmt) list;  (* event name, statement, in order *)
+  events : (string * Jir.Ast.stmt) list;
+      (* library calls on the variable, in order: raw called-method name
+         and the call statement.  The pipeline re-resolves each statement
+         against the property's event matcher at replay time, so one
+         enumeration serves every FSM (name-matching or declared). *)
   cond : Formula.t;                       (* conjunction of branch constraints *)
 }
 
 type resolved = {
   meth_id : string;
+  meth : Jir.Ast.meth;    (* enclosing method, for event-guard evaluation *)
   cls : string;
   sid : int;              (* allocation statement id (post-unroll) *)
   var : Jir.Ast.var;
@@ -226,7 +231,7 @@ let analyze ~tracked (program : Jir.Ast.program) : resolved list =
                         | [] -> None  (* blown path cap or alloc never runs *)
                         | paths ->
                             Some
-                              { meth_id; cls; sid = s.Jir.Ast.sid; var = v;
-                                at = s.Jir.Ast.at; paths }
+                              { meth_id; meth = m; cls; sid = s.Jir.Ast.sid;
+                                var = v; at = s.Jir.Ast.at; paths }
                       else None
                   | _ -> None))

@@ -235,8 +235,11 @@ let wildify_shared env (binds : (int * binding) list) =
     binds;
   wildify env { b_objs = !dup; b_other = false }
 
-(* Effects of a call at its normal return edge; [bind] receives the result. *)
-let do_call t env (c : Jir.Ast.call) ~(bind : Jir.Ast.var option) =
+(* Effects of a call at its normal return edge; [bind] receives the result.
+   [meth] is the enclosing method, consulted by the event matcher's
+   guards. *)
+let do_call t ~(meth : Jir.Ast.meth) env (c : Jir.Ast.call)
+    ~(bind : Jir.Ast.var option) =
   match t.lookup (callee_id c) with
   | Some summ ->
       (* defined callee: apply its parameter effects positionally *)
@@ -284,17 +287,16 @@ let do_call t env (c : Jir.Ast.call) ~(bind : Jir.Ast.var option) =
         List.fold_left (fun env e -> wildify_expr env e) env c.Jir.Ast.args
       in
       let env =
-        match c.Jir.Ast.recv with
-        | Some r ->
-            apply_eff t env (binding env r)
-              (Fsm.rel_of_event t.fsm c.Jir.Ast.mname)
-        | None -> env
+        match (c.Jir.Ast.recv, Fsm.call_event t.fsm ~meth c) with
+        | Some r, Some ev ->
+            apply_eff t env (binding env r) (Fsm.rel_of_event t.fsm ev)
+        | _ -> env
       in
       match bind with Some x -> set_var env x unbound | None -> env)
 
 let tracked_class t cls = Fsm.is_tracked t.fsm cls
 
-let do_rhs t env v (r : Jir.Ast.rhs) (s : Jir.Ast.stmt) =
+let do_rhs t ~meth env v (r : Jir.Ast.rhs) (s : Jir.Ast.stmt) =
   match r with
   | Jir.Ast.Rnew (cls, args) ->
       let env = List.fold_left (fun env e -> wildify_expr env e) env args in
@@ -303,7 +305,7 @@ let do_rhs t env v (r : Jir.Ast.rhs) (s : Jir.Ast.stmt) =
         let env = birth env o ~rel:(Fsm.rel_identity t.fsm) ~wild:false in
         set_var env v { b_objs = OS.singleton o; b_other = false }
       else set_var env v unbound
-  | Jir.Ast.Rcall c -> do_call t env c ~bind:(Some v)
+  | Jir.Ast.Rcall c -> do_call t ~meth env c ~bind:(Some v)
   | Jir.Ast.Rexpr (Jir.Ast.Var y) -> set_var env v (binding env y)
   | Jir.Ast.Rload _ | Jir.Ast.Rnull | Jir.Ast.Rexpr _ -> set_var env v unbound
 
@@ -386,19 +388,33 @@ module Domain = struct
         match g.Cfg.kinds.(node) with
         | Cfg.Stmt ({ kind = Jir.Ast.Decl (_, v, Some r); _ } as s)
         | Cfg.Stmt ({ kind = Jir.Ast.Assign (v, r); _ } as s) ->
-            Env (do_rhs t env v r s)
+            Env (do_rhs t ~meth:g.Cfg.meth env v r s)
         | Cfg.Stmt { kind = Jir.Ast.Decl (_, v, None); _ } ->
             Env (set_var env v unbound)
         | Cfg.Stmt { kind = Jir.Ast.Store (_, _, y); _ } ->
+            (* a declared store-pattern event fires before the reference
+               escapes into the heap *)
+            let env =
+              match Fsm.store_event t.fsm ~meth:g.Cfg.meth ~src:y with
+              | Some ev ->
+                  apply_eff t env (binding env y) (Fsm.rel_of_event t.fsm ev)
+              | None -> env
+            in
             Env (wildify env (binding env y))
         | Cfg.Stmt { kind = Jir.Ast.Expr c; _ } ->
-            Env (do_call t env c ~bind:None)
+            Env (do_call t ~meth:g.Cfg.meth env c ~bind:None)
         | Cfg.Stmt { kind = Jir.Ast.Return (Some (Jir.Ast.Var y)); _ } ->
             (* a cleanly-returned allocation transfers ownership to the
                caller: drop it here so the exit node does not count it as
                dying in this frame.  Anything uncertain stays, and is then
                both recorded as returned and checked at exit — conservative
                in both directions. *)
+            let env =
+              match Fsm.return_event t.fsm ~meth:g.Cfg.meth y with
+              | Some ev ->
+                  apply_eff t env (binding env y) (Fsm.rel_of_event t.fsm ev)
+              | None -> env
+            in
             let b = binding env y in
             if (not b.b_other) && OS.cardinal b.b_objs = 1 then
               match OS.choose b.b_objs with
@@ -452,13 +468,15 @@ module Domain = struct
                     c.Jir.Ast.args
                 in
                 Env
-                  (match c.Jir.Ast.recv with
-                  | Some r ->
+                  (match
+                     (c.Jir.Ast.recv, Fsm.call_event t.fsm ~meth:g.Cfg.meth c)
+                   with
+                  | Some r, Some ev ->
                       apply_eff t env (binding env r)
                         (Fsm.rel_join
                            (Fsm.rel_identity t.fsm)
-                           (Fsm.rel_of_event t.fsm c.Jir.Ast.mname))
-                  | None -> env)))
+                           (Fsm.rel_of_event t.fsm ev))
+                  | _ -> env)))
 end
 
 module Solver = Dataflow.Forward (Domain)

@@ -22,9 +22,62 @@ module Solver = Smt.Solver
 
 let checker_name = "exception"
 
-(* Does the exceptional leaf [node] of [inst] escape the whole program?
-   Memoized over (instance, node). *)
-let escape_analysis (icfet : Icfet.t) (clones : Clone_tree.t) =
+(* Checker options.  [handler_aware] addresses the checker's residual
+   false-positive class (paper, Table 2): when a callee throws an
+   exception its signature does not declare, the CFET has no caller-side
+   divergence, and the plain walk conservatively treats the throw as
+   escaping even when the caller lexically wraps the call in a matching
+   try/catch (the try-with-resources idiom).  A handler-aware walk checks
+   the caller's handler structure before giving up.  [name] is the checker
+   name stamped on reports, so a DSL-defined variant scores separately. *)
+type opts = { name : string; handler_aware : bool }
+
+let default_opts = { name = checker_name; handler_aware = false }
+
+(* Is the statement [sid] of [m] wrapped in a try whose handlers catch
+   [thrown]?  Purely lexical: inner frames are consulted first, and a
+   handler's own body is protected only by the frames outside its try. *)
+let handled_in_caller (m : Jir.Ast.meth) ~sid ~thrown =
+  let matches (c : Jir.Ast.catch) = Cfet.catch_matches ~thrown c in
+  let rec in_block b handlers =
+    List.exists (fun s -> in_stmt s handlers) b
+  and in_stmt (s : Jir.Ast.stmt) handlers =
+    if s.Jir.Ast.sid = sid then
+      List.exists (fun cs -> List.exists matches cs) handlers
+    else
+      match s.Jir.Ast.kind with
+      | Jir.Ast.If (_, t, f) -> in_block t handlers || in_block f handlers
+      | Jir.Ast.While (_, b) -> in_block b handlers
+      | Jir.Ast.Try (b, cs) ->
+          in_block b (cs :: handlers)
+          || List.exists
+               (fun (c : Jir.Ast.catch) -> in_block c.Jir.Ast.handler handlers)
+               cs
+      | _ -> false
+  in
+  in_block m.Jir.Ast.body []
+
+(* The caller-side statement id of call [call_id] (for the handler walk). *)
+let call_site_sid (icfet : Icfet.t) (ce : Icfet.call_edge) call_id =
+  let caller_cfet = Icfet.cfet icfet ce.Icfet.caller_meth in
+  match Hashtbl.find_opt caller_cfet.Cfet.nodes ce.Icfet.caller_node with
+  | None -> None
+  | Some n ->
+      List.find_map
+        (fun (ci : Cfet.call_info) ->
+          let sid = ci.Cfet.call_stmt.Jir.Ast.sid in
+          match
+            Icfet.call_id_of_site icfet ~meth:ce.Icfet.caller_meth
+              ~node:ce.Icfet.caller_node ~sid
+          with
+          | Some id when id = call_id -> Some sid
+          | _ -> None)
+        n.Cfet.calls
+
+(* Does the exceptional leaf [node] of [inst], throwing [exn], escape the
+   whole program?  Memoized over (instance, node). *)
+let escape_analysis ?(handler_aware = false) (icfet : Icfet.t)
+    (clones : Clone_tree.t) =
   let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
   (* reverse call-site map *)
   let entries_rev : (int, (int * int) list) Hashtbl.t = Hashtbl.create 256 in
@@ -33,7 +86,7 @@ let escape_analysis (icfet : Icfet.t) (clones : Clone_tree.t) =
       let cur = Option.value ~default:[] (Hashtbl.find_opt entries_rev callee) in
       Hashtbl.replace entries_rev callee ((caller, call_id) :: cur))
     clones.Clone_tree.by_site;
-  let rec escapes inst node =
+  let rec escapes ~exn inst node =
     match Hashtbl.find_opt memo (inst, node) with
     | Some b -> b
     | None ->
@@ -58,15 +111,26 @@ let escape_analysis (icfet : Icfet.t) (clones : Clone_tree.t) =
                   match Hashtbl.find_opt caller_cfet.Cfet.nodes sibling with
                   | Some n -> (
                       match n.Cfet.exit with
-                      | Some (Cfet.Exceptional _) -> escapes caller sibling
+                      | Some (Cfet.Exceptional e) ->
+                          escapes ~exn:e caller sibling
                       | Some (Cfet.Normal _) | None -> false)
                   | None -> false
                 end
                 else
                   (* no divergence in the caller: the callee's declared
-                     throws did not cover this exception; treat as escaping
-                     (conservative) *)
-                  true)
+                     throws did not cover this exception.  The plain walk
+                     treats this as escaping (conservative); the
+                     handler-aware walk first checks whether the caller
+                     lexically wraps the call in a matching try/catch. *)
+                  (not handler_aware)
+                  ||
+                  match call_site_sid icfet ce call_id with
+                  | Some sid ->
+                      not
+                        (handled_in_caller
+                           (Icfet.cfet icfet ce.Icfet.caller_meth).Cfet.meth
+                           ~sid ~thrown:exn)
+                  | None -> true)
               entering
         in
         Hashtbl.replace memo (inst, node) result;
@@ -88,10 +152,12 @@ let blame_position (cfet : Cfet.t) (n : Cfet.node) : Jir.Ast.pos option =
       | None -> None)
 
 (* Run the checker over a prepared pipeline state. *)
-let run (p : Pipeline.prepared) : Report.t list =
+let run ?(opts = default_opts) (p : Pipeline.prepared) : Report.t list =
   let icfet = p.Pipeline.icfet in
   let clones = p.Pipeline.clones in
-  let escapes = escape_analysis icfet clones in
+  let escapes =
+    escape_analysis ~handler_aware:opts.handler_aware icfet clones
+  in
   let reports = ref [] in
   Array.iter
     (fun (inst : Clone_tree.instance) ->
@@ -104,7 +170,7 @@ let run (p : Pipeline.prepared) : Report.t list =
              leaves created by may-throw library calls are not reported *)
           | ( Some (Cfet.Exceptional exn_class),
               { Jir.Ast.kind = Jir.Ast.Throw _; _ } :: _ )
-            when escapes inst.Clone_tree.inst_id node_id ->
+            when escapes ~exn:exn_class inst.Clone_tree.inst_id node_id ->
               (* path sensitivity: only report leaves whose local path is
                  feasible *)
               let local =
@@ -121,7 +187,7 @@ let run (p : Pipeline.prepared) : Report.t list =
                     (blame_position cfet n)
                 in
                 reports :=
-                  { Report.checker = checker_name;
+                  { Report.checker = opts.name;
                     kind = Report.Unhandled_exception exn_class;
                     cls = exn_class;
                     alloc_at = at;

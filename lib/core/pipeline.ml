@@ -387,6 +387,17 @@ let witness_of_constraint (f : Smt.Formula.t) : (string * int) list =
    check: qualified methods have no exceptional exits, so every complete
    path ends in a normal return. *)
 let prefiltered_reports (fsm : Fsm.t) (r : Escape.resolved) : Report.t list =
+  (* the enumerator recorded the raw call statements; resolve each against
+     this property's event matcher so declared patterns and guards agree
+     with the graph builder *)
+  let call_of_stmt (s : Jir.Ast.stmt) =
+    match s.Jir.Ast.kind with
+    | Jir.Ast.Expr c
+    | Jir.Ast.Decl (_, _, Some (Jir.Ast.Rcall c))
+    | Jir.Ast.Assign (_, Jir.Ast.Rcall c) ->
+        Some c
+    | _ -> None
+  in
   List.concat_map
     (fun (path : Escape.path) ->
       match Smt.Solver.check path.Escape.cond with
@@ -394,11 +405,17 @@ let prefiltered_reports (fsm : Fsm.t) (r : Escape.resolved) : Report.t list =
       | Smt.Solver.Sat | Smt.Solver.Unknown ->
           let state, error_site =
             List.fold_left
-              (fun (st, site) (ev, (s : Jir.Ast.stmt)) ->
-                let st' = Fsm.step fsm st ev in
-                if site = None && st' = fsm.Fsm.error then
-                  (st', Some s.Jir.Ast.at)
-                else (st', site))
+              (fun (st, site) (_, (s : Jir.Ast.stmt)) ->
+                match
+                  Option.bind (call_of_stmt s)
+                    (Fsm.call_event fsm ~meth:r.Escape.meth)
+                with
+                | None -> (st, site)
+                | Some ev ->
+                    let st' = Fsm.step fsm st ev in
+                    if site = None && st' = fsm.Fsm.error then
+                      (st', Some s.Jir.Ast.at)
+                    else (st', site))
               (fsm.Fsm.initial, None) path.Escape.events
           in
           let mk kind site =
@@ -414,9 +431,14 @@ let prefiltered_reports (fsm : Fsm.t) (r : Escape.resolved) : Report.t list =
                     r.Escape.at.Jir.Ast.file r.Escape.at.Jir.Ast.line ] }
           in
           if state = fsm.Fsm.error then
-            [ mk (Report.Error_state (Fsm.state_name fsm state)) error_site ]
+            [ mk
+                (Report.Error_state
+                   (Fsm.describe_state fsm state ~cls:r.Escape.cls))
+                error_site ]
           else if not (Fsm.is_accepting fsm state) then
-            [ mk (Report.Leak (Fsm.state_name fsm state)) None ]
+            [ mk
+                (Report.Leak (Fsm.describe_state fsm state ~cls:r.Escape.cls))
+                None ]
           else [])
     r.Escape.paths
 
@@ -525,8 +547,12 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
                     (fun (s : Jir.Ast.stmt) -> s.Jir.Ast.at)
                     (Dataflow_graph.event_site dg e.Dataflow_engine.dst)
                 in
-                reports := mk (Report.Error_state (Fsm.state_name fsm state)) site
-                           :: !reports
+                reports :=
+                  mk
+                    (Report.Error_state
+                       (Fsm.describe_state fsm state ~cls:tr.Dataflow_graph.cls))
+                    site
+                  :: !reports
               end
               else begin
                 (* leaks are reported at normal program exits only: paths
@@ -536,7 +562,11 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
                 | Some Dataflow_graph.Exit_normal
                   when not (Fsm.is_accepting fsm state) ->
                     reports :=
-                      mk (Report.Leak (Fsm.state_name fsm state)) None
+                      mk
+                        (Report.Leak
+                           (Fsm.describe_state fsm state
+                              ~cls:tr.Dataflow_graph.cls))
+                        None
                       :: !reports
                 | _ -> ()
               end

@@ -9,6 +9,38 @@
 
 type state = int
 
+(* How a statement fires an event.  The default (an FSM with no event
+   declarations) is *name matching*: every library instance call fires an
+   event named after the called method, which is how the hand-coded
+   checkers have always worked.  An FSM compiled from a DSL spec may
+   instead declare events explicitly, each with a syntactic pattern and
+   optional guards; a statement then fires the first declared event whose
+   pattern matches and whose guards all hold, or nothing. *)
+type pattern =
+  | Pcall of string  (* library instance call with this method name *)
+  | Pany_call        (* any library instance call *)
+  | Pstore           (* the tracked reference is stored into a field *)
+  | Preturn          (* the tracked reference is returned *)
+
+(* Guards are decided syntactically from the statement and its enclosing
+   method, so the graph builder, the summary pre-analysis, and the escape
+   pre-filter — which all detect events independently — agree exactly. *)
+type guard =
+  | Garg_const of int * int
+      (* argument [i] is the integer literal [n] *)
+  | Gnullable of bool
+      (* the subject variable has (true) / lacks (false) a null assignment
+         somewhere in the enclosing method *)
+  | Gescaping of bool
+      (* the subject variable is (true) / is not (false) stored to a field,
+         passed as a call argument, or returned in the enclosing method *)
+
+type event_decl = {
+  ev_name : string;
+  ev_pattern : pattern;
+  ev_guards : guard list;
+}
+
 type t = {
   name : string;
   tracked_classes : string list;  (* allocation types to track *)
@@ -22,6 +54,12 @@ type t = {
       (* if true, events with no transition from a state leave the state
          unchanged instead of going to error; used for properties that only
          constrain a subset of the API *)
+  event_decls : event_decl list;
+      (* empty = name matching (the legacy behavior); repeated names act as
+         pattern alternation, first match wins *)
+  messages : (string * string) list;
+      (* state name -> report message template; [{class}] and [{state}]
+         are substituted at report time *)
 }
 
 type builder = {
@@ -32,11 +70,14 @@ type builder = {
   mutable b_accepting : string list;
   mutable b_transitions : (string * string * string) list;  (* from,event,to *)
   mutable b_ignore_unknown : bool;
+  mutable b_event_decls : event_decl list;  (* reverse order *)
+  mutable b_messages : (string * string) list;
 }
 
 let builder name =
   { b_name = name; b_classes = []; b_states = []; b_initial = None;
-    b_accepting = []; b_transitions = []; b_ignore_unknown = true }
+    b_accepting = []; b_transitions = []; b_ignore_unknown = true;
+    b_event_decls = []; b_messages = [] }
 
 let track b cls = b.b_classes <- cls :: b.b_classes
 
@@ -57,6 +98,13 @@ let on b ~from ~event ~goto =
   b.b_transitions <- (from, event, goto) :: b.b_transitions
 
 let strict_events b = b.b_ignore_unknown <- false
+
+let declare_event b ~name ~pattern ~guards =
+  b.b_event_decls <- { ev_name = name; ev_pattern = pattern; ev_guards = guards } :: b.b_event_decls
+
+let message b ~state:st ~text =
+  state b st;
+  b.b_messages <- (st, text) :: b.b_messages
 
 exception Invalid_spec of string
 
@@ -94,7 +142,9 @@ let build (b : builder) : t =
       Hashtbl.replace transitions key (id_of goto))
     b.b_transitions;
   let events =
-    List.sort_uniq compare (List.map (fun (_, e, _) -> e) b.b_transitions)
+    List.sort_uniq compare
+      (List.map (fun (_, e, _) -> e) b.b_transitions
+      @ List.map (fun d -> d.ev_name) b.b_event_decls)
   in
   { name = b.b_name;
     tracked_classes = List.rev b.b_classes;
@@ -104,7 +154,9 @@ let build (b : builder) : t =
     transitions;
     accepting = List.map id_of (List.sort_uniq compare b.b_accepting);
     events;
-    ignore_unknown_events = b.b_ignore_unknown }
+    ignore_unknown_events = b.b_ignore_unknown;
+    event_decls = List.rev b.b_event_decls;
+    messages = List.rev b.b_messages }
 
 let n_states (t : t) = Array.length t.state_names
 
@@ -115,6 +167,148 @@ let is_accepting (t : t) s = List.mem s t.accepting
 let is_tracked (t : t) cls = List.mem cls t.tracked_classes
 
 let is_event (t : t) event = List.mem event t.events
+
+(* ------------------------------------------------------------------ *)
+(* Event matching.                                                     *)
+(*                                                                     *)
+(* Three analyses detect events independently — the dataflow graph     *)
+(* builder, the summary pre-analysis, and the escape pre-filter — and  *)
+(* their answers must agree statement by statement or the pre-filters  *)
+(* become unsound.  Everything here is therefore a pure syntactic      *)
+(* function of (statement, enclosing method).  The caller is           *)
+(* responsible for the "library call" test (call target not defined in *)
+(* the program); the matcher only resolves pattern and guards.         *)
+(* ------------------------------------------------------------------ *)
+
+let rec block_stmts (b : Jir.Ast.block) : Jir.Ast.stmt list =
+  List.concat_map
+    (fun (s : Jir.Ast.stmt) ->
+      s
+      ::
+      (match s.Jir.Ast.kind with
+      | Jir.Ast.If (_, th, el) -> block_stmts th @ block_stmts el
+      | Jir.Ast.While (_, b) -> block_stmts b
+      | Jir.Ast.Try (b, cs) ->
+          block_stmts b
+          @ List.concat_map (fun c -> block_stmts c.Jir.Ast.handler) cs
+      | _ -> []))
+    b
+
+(* Does [var] receive a null assignment anywhere in the method? *)
+let has_null_def (m : Jir.Ast.meth) (var : Jir.Ast.var) =
+  List.exists
+    (fun (s : Jir.Ast.stmt) ->
+      match s.Jir.Ast.kind with
+      | Jir.Ast.Decl (_, x, Some Jir.Ast.Rnull) | Jir.Ast.Assign (x, Jir.Ast.Rnull) ->
+          x = var
+      | _ -> false)
+    (block_stmts m.Jir.Ast.body)
+
+(* Is [var] stored to a field, passed as a call argument, or returned
+   anywhere in the method? *)
+let escapes_method (m : Jir.Ast.meth) (var : Jir.Ast.var) =
+  let in_expr e = List.mem var (Jir.Ast.expr_vars e) in
+  let in_call (c : Jir.Ast.call) = List.exists in_expr c.Jir.Ast.args in
+  List.exists
+    (fun (s : Jir.Ast.stmt) ->
+      match s.Jir.Ast.kind with
+      | Jir.Ast.Store (_, _, y) -> y = var
+      | Jir.Ast.Expr c -> in_call c
+      | Jir.Ast.Decl (_, _, Some r) | Jir.Ast.Assign (_, r) -> (
+          match r with
+          | Jir.Ast.Rcall c -> in_call c
+          | Jir.Ast.Rnew (_, args) -> List.exists in_expr args
+          | _ -> false)
+      | Jir.Ast.Return (Some e) -> in_expr e
+      | _ -> false)
+    (block_stmts m.Jir.Ast.body)
+
+let guard_holds ~(meth : Jir.Ast.meth) ~(var : Jir.Ast.var)
+    ~(call : Jir.Ast.call option) (g : guard) =
+  match g with
+  | Garg_const (i, n) -> (
+      match call with
+      | Some c -> (
+          match List.nth_opt c.Jir.Ast.args i with
+          | Some (Jir.Ast.Const k) -> k = n
+          | _ -> false)
+      | None -> false)
+  | Gnullable want -> has_null_def meth var = want
+  | Gescaping want -> escapes_method meth var = want
+
+let first_match (t : t) ~meth ~var ~call ~(pattern_ok : pattern -> bool) =
+  let rec go = function
+    | [] -> None
+    | d :: tl ->
+        if
+          pattern_ok d.ev_pattern
+          && List.for_all (guard_holds ~meth ~var ~call) d.ev_guards
+        then Some d.ev_name
+        else go tl
+  in
+  go t.event_decls
+
+(* Event fired by a library instance call, if any.  Name-matching FSMs
+   (no declarations) fire the called method's name unconditionally: this
+   is the historical behavior the hand-coded checkers rely on. *)
+let call_event (t : t) ~(meth : Jir.Ast.meth) (c : Jir.Ast.call) :
+    string option =
+  match c.Jir.Ast.recv with
+  | None -> None
+  | Some r -> (
+      match t.event_decls with
+      | [] -> Some c.Jir.Ast.mname
+      | _ ->
+          first_match t ~meth ~var:r ~call:(Some c) ~pattern_ok:(function
+            | Pcall m -> m = c.Jir.Ast.mname
+            | Pany_call -> true
+            | Pstore | Preturn -> false))
+
+(* Event fired by storing the tracked reference [src] into a field. *)
+let store_event (t : t) ~(meth : Jir.Ast.meth) ~(src : Jir.Ast.var) :
+    string option =
+  match t.event_decls with
+  | [] -> None
+  | _ ->
+      first_match t ~meth ~var:src ~call:None ~pattern_ok:(function
+        | Pstore -> true
+        | Pcall _ | Pany_call | Preturn -> false)
+
+(* Event fired by returning the tracked reference [var]. *)
+let return_event (t : t) ~(meth : Jir.Ast.meth) (var : Jir.Ast.var) :
+    string option =
+  match t.event_decls with
+  | [] -> None
+  | _ ->
+      first_match t ~meth ~var ~call:None ~pattern_ok:(function
+        | Preturn -> true
+        | Pcall _ | Pany_call | Pstore -> false)
+
+(* Report text for reaching [s]: the state's message template with
+   [{class}]/[{state}] substituted, or just the state name. *)
+let describe_state (t : t) (s : state) ~(cls : string) : string =
+  let name = t.state_names.(s) in
+  match List.assoc_opt name t.messages with
+  | None -> name
+  | Some tmpl ->
+      let replace ~sub ~by s =
+        let slen = String.length sub in
+        let buf = Buffer.create (String.length s) in
+        let i = ref 0 in
+        while !i <= String.length s - slen do
+          if String.sub s !i slen = sub then begin
+            Buffer.add_string buf by;
+            i := !i + slen
+          end
+          else begin
+            Buffer.add_char buf s.[!i];
+            incr i
+          end
+        done;
+        Buffer.add_string buf (String.sub s !i (String.length s - !i));
+        Buffer.contents buf
+      in
+      replace ~sub:"{state}" ~by:name (replace ~sub:"{class}" ~by:cls tmpl)
 
 (* One step of the FSM.  Error is absorbing; unknown events either stall or
    fail according to the spec. *)

@@ -9,6 +9,36 @@
 
 type state = int
 
+(** How a statement fires an event.  An FSM with no event declarations
+    uses *name matching*: every library instance call fires an event named
+    after the called method (the historical behavior).  An FSM compiled
+    from a property DSL spec may declare events explicitly, each with a
+    syntactic pattern and guards; a statement then fires the first
+    declared event whose pattern matches and whose guards all hold. *)
+type pattern =
+  | Pcall of string  (** library instance call with this method name *)
+  | Pany_call        (** any library instance call *)
+  | Pstore           (** the tracked reference is stored into a field *)
+  | Preturn          (** the tracked reference is returned *)
+
+(** Guards are pure syntactic predicates over (statement, enclosing
+    method), so every analysis that detects events independently agrees
+    statement by statement. *)
+type guard =
+  | Garg_const of int * int  (** argument [i] is the integer literal [n] *)
+  | Gnullable of bool
+      (** the subject variable has (lacks) a null assignment in the
+          enclosing method *)
+  | Gescaping of bool
+      (** the subject variable is (is not) stored to a field, passed as a
+          call argument, or returned in the enclosing method *)
+
+type event_decl = {
+  ev_name : string;
+  ev_pattern : pattern;
+  ev_guards : guard list;
+}
+
 type t = private {
   name : string;
   tracked_classes : string list;
@@ -19,6 +49,12 @@ type t = private {
   accepting : state list;
   events : string list;
   ignore_unknown_events : bool;
+  event_decls : event_decl list;
+      (** empty = name matching; repeated names act as alternation, first
+          match wins *)
+  messages : (string * string) list;
+      (** state name -> report message template ([{class}]/[{state}]
+          substituted at report time) *)
 }
 
 (** {1 Building specifications} *)
@@ -39,6 +75,14 @@ val on : builder -> from:string -> event:string -> goto:string -> unit
 val strict_events : builder -> unit
 (** Make events without a declared transition drive the object to [Error]
     instead of leaving the state unchanged. *)
+
+val declare_event :
+  builder -> name:string -> pattern:pattern -> guards:guard list -> unit
+(** Declare a pattern-matched event; switches the FSM to declared-event
+    matching. *)
+
+val message : builder -> state:string -> text:string -> unit
+(** Attach a report message template to a state. *)
 
 val build : builder -> t
 (** Raises {!Invalid_spec} on a missing initial state, no tracked classes,
@@ -68,6 +112,35 @@ type verdict = Ok_ | Reaches_error | Bad_final of state
 val check_sequence : t -> string list -> verdict
 (** Classify a complete event sequence: reaches [Error], ends in a
     non-accepting state, or is fine. *)
+
+(** {1 Event matching}
+
+    The single point of truth for "which event, if any, does this
+    statement fire" — used identically by the dataflow-graph builder, the
+    summary pre-analysis, and the escape pre-filter.  The caller decides
+    whether a call is a library call (target not defined in the program);
+    the matcher resolves patterns and guards. *)
+
+val call_event : t -> meth:Jir.Ast.meth -> Jir.Ast.call -> string option
+(** Event fired by a library instance call ([None] for static calls, or
+    when no declared pattern+guards match).  Name-matching FSMs fire the
+    called method's name unconditionally. *)
+
+val store_event : t -> meth:Jir.Ast.meth -> src:Jir.Ast.var -> string option
+(** Event fired by storing the tracked reference [src] into a field
+    (declared-event FSMs only). *)
+
+val return_event : t -> meth:Jir.Ast.meth -> Jir.Ast.var -> string option
+(** Event fired by returning the tracked reference (declared-event FSMs
+    only). *)
+
+val guard_holds :
+  meth:Jir.Ast.meth -> var:Jir.Ast.var -> call:Jir.Ast.call option ->
+  guard -> bool
+
+val describe_state : t -> state -> cls:string -> string
+(** Report text for reaching a state: its message template with
+    [{class}]/[{state}] substituted, or just the state name. *)
 
 (** {1 Transfer relations}
 

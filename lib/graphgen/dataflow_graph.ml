@@ -100,39 +100,54 @@ let add_seed (g : t) src dst label enc =
    DESIGN.md. *)
 type alias_map = (int * string * int * int, Encoding.t) Hashtbl.t
 
-let receiver_event (icfet : Icfet.t) (s : Jir.Ast.stmt) : (string * string) option =
-  (* (receiver, event method) for library instance calls *)
+(* (subject variable, event) fired by a statement, or [None].  The event
+   resolution itself — name matching vs declared patterns and guards —
+   lives in {!Fsm.call_event}/{!Fsm.store_event}/{!Fsm.return_event} so
+   that the summary pre-analysis and the escape pre-filter agree with the
+   graph builder statement by statement. *)
+let stmt_event (fsm : Fsm.t) (icfet : Icfet.t) ~(meth : Jir.Ast.meth)
+    (s : Jir.Ast.stmt) : (string * string) option =
   let of_call (c : Jir.Ast.call) =
-    match c.Jir.Ast.recv with
-    | Some r ->
-        let defined =
-          Icfet.meth_idx icfet
-            (Jir.Ast.qualified_name ~cls:c.Jir.Ast.target_class
-               ~meth:c.Jir.Ast.mname)
-          <> None
-        in
-        if defined then None else Some (r, c.Jir.Ast.mname)
-    | None -> None
+    let defined =
+      Icfet.meth_idx icfet
+        (Jir.Ast.qualified_name ~cls:c.Jir.Ast.target_class
+           ~meth:c.Jir.Ast.mname)
+      <> None
+    in
+    if defined then None
+    else
+      match (c.Jir.Ast.recv, Fsm.call_event fsm ~meth c) with
+      | Some r, Some ev -> Some (r, ev)
+      | _ -> None
   in
   match s.Jir.Ast.kind with
   | Jir.Ast.Expr c
   | Jir.Ast.Decl (_, _, Some (Jir.Ast.Rcall c))
   | Jir.Ast.Assign (_, Jir.Ast.Rcall c) ->
       of_call c
+  | Jir.Ast.Store (_, _, y) -> (
+      match Fsm.store_event fsm ~meth ~src:y with
+      | Some ev -> Some (y, ev)
+      | None -> None)
+  | Jir.Ast.Return (Some (Jir.Ast.Var v)) -> (
+      match Fsm.return_event fsm ~meth v with
+      | Some ev -> Some (v, ev)
+      | None -> None)
   | _ -> None
 
 (* Effect of one segment on the tracked object: composed transition function
    id, the Aux fragments of the alias paths consulted, and the last event
    statement (for reporting). *)
-let segment_effect (g : t) (icfet : Icfet.t) (aliases : alias_map)
-    (ver : Varver.t) ~inst ~node (stmts : Jir.Ast.stmt list) :
+let segment_effect (g : t) (icfet : Icfet.t) ~(meth_ast : Jir.Ast.meth)
+    (aliases : alias_map) (ver : Varver.t) ~inst ~node
+    (stmts : Jir.Ast.stmt list) :
     int * Encoding.element list * Jir.Ast.stmt option =
   let effect = ref Transfn.identity_id in
   let auxes = ref [] in
   let last_event = ref None in
   List.iter
     (fun s ->
-      match receiver_event icfet s with
+      match stmt_event g.fsm icfet ~meth:meth_ast s with
       | None -> ()
       | Some (recv, event) -> (
           let version = Varver.use ver ~sid:s.Jir.Ast.sid ~var:recv in
@@ -288,8 +303,8 @@ let build ?(config = default_config) (icfet : Icfet.t) (clones : Clone_tree.t)
               for i = 0 to k do
                 let src = vertex g ~obj_idx { inst; node = node_id; seg = i } in
                 let effect, auxes, event_stmt =
-                  segment_effect g icfet aliases node_vv ~inst ~node:node_id
-                    segs.(i)
+                  segment_effect g icfet ~meth_ast:cfet.Cfet.meth aliases
+                    node_vv ~inst ~node:node_id segs.(i)
                 in
                 let base_enc =
                   auxes

@@ -292,5 +292,70 @@ let mini_hbase () =
         [ ("null-deref", 1); ("dead-branch", 1); ("interproc-null", 1) ];
       loops_per_subject = 4 }
 
+(* Subjects for the DSL-defined checkers (lib/spec builtins).  Each plants
+   only its own checker's bugs, so the scored TP counts are exact. *)
+
+let mini_locks () =
+  generate
+    { name = "minilocks";
+      description = "two-lock service (lock_order product-property profile)";
+      seed = 505;
+      layers = 2;
+      classes_per_layer = 2;
+      methods_per_class = 2;
+      patterns_per_method = 1;
+      calls_per_method = 1;
+      bugs = [ ("lock_order", 2) ];
+      lint_bugs = [];
+      loops_per_subject = 1 }
+
+let mini_taint () =
+  generate
+    { name = "minitaint";
+      description = "request handler (taint source-to-sink profile)";
+      seed = 606;
+      layers = 2;
+      classes_per_layer = 2;
+      methods_per_class = 2;
+      patterns_per_method = 1;
+      calls_per_method = 1;
+      bugs = [ ("taint", 3) ];
+      lint_bugs = [];
+      loops_per_subject = 1 }
+
+let mini_close () =
+  generate
+    { name = "miniclose";
+      description = "storage layer (double-close / use-after-close profile)";
+      seed = 707;
+      layers = 2;
+      classes_per_layer = 2;
+      methods_per_class = 2;
+      patterns_per_method = 1;
+      calls_per_method = 1;
+      bugs = [ ("close", 2) ];
+      lint_bugs = [];
+      loops_per_subject = 1 }
+
+(* The handler-aware exception profile: the decoys are undeclared throws
+   the caller demonstrably catches -- the plain exception walk reports
+   them (its residual false-positive class), exc_twr must not. *)
+let mini_twr () =
+  generate
+    { name = "minitwr";
+      description = "try-with-resources idiom (handler-aware exception profile)";
+      seed = 808;
+      layers = 2;
+      classes_per_layer = 2;
+      methods_per_class = 2;
+      patterns_per_method = 1;
+      calls_per_method = 1;
+      bugs = [ ("exc_twr", 2); ("exc_twr_decoy", 2) ];
+      lint_bugs = [];
+      loops_per_subject = 0 }
+
 let all_subjects () =
   [ mini_zookeeper (); mini_hadoop (); mini_hdfs (); mini_hbase () ]
+
+let dsl_subjects () =
+  [ mini_locks (); mini_taint (); mini_close (); mini_twr () ]

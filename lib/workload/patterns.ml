@@ -521,6 +521,192 @@ let lint_dead_branch ctx ~param =
           exp_line = if_at.Jir.Ast.line;
           exp_note = "z = p - p is always 0, branch never taken" } ] }
 
+(* ---------------- DSL-checker patterns (lib/spec builtins) ------------ *)
+
+(* Ground truth for the four DSL-defined checkers.  The ok twins live
+   inside the bug pieces (not in [correct_patterns]) so adding these
+   checkers cannot perturb the rng stream of the existing profiles. *)
+
+let lock_pair_t = Jir.Ast.Tobj "LockPair"
+let user_input_t = Jir.Ast.Tobj "UserInput"
+
+(* B acquired before A -- the product property's error; the ok twin takes
+   the locks in order *)
+let lock_order_inversion ctx ~param:_ =
+  let q = fresh ctx "lp" in
+  let r = fresh ctx "lp" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:(next_line ctx) lock_pair_t q (new_ "LockPair" []);
+        call_stmt ~at:(next_line ctx) q "lockA" [];
+        call_stmt ~at:(next_line ctx) q "lockB" [];
+        call_stmt ~at:(next_line ctx) q "unlockA" [];
+        decl ~at:alloc_at lock_pair_t r (new_ "LockPair" []);
+        call_stmt ~at:(next_line ctx) r "lockB" [];
+        call_stmt ~at:(next_line ctx) r "lockA" [];
+        call_stmt ~at:(next_line ctx) r "unlockA" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "lock_order"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "B acquired before A" } ] }
+
+(* the inversion happens only on a feasible branch; the other path is
+   clean, so a path-sensitive checker reports exactly one warning *)
+let lock_order_branch ctx ~param =
+  let r = fresh ctx "lp" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:alloc_at lock_pair_t r (new_ "LockPair" []);
+        if_ ~at:(next_line ctx)
+          (v param >: i 2)
+          [ call_stmt ~at:(next_line ctx) r "lockB" [] ]
+          [];
+        call_stmt ~at:(next_line ctx) r "lockA" [];
+        call_stmt ~at:(next_line ctx) r "unlockA" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "lock_order"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "B first when param > 2" } ] }
+
+(* tainted input reaches exec() unsanitized; the twin sanitizes first *)
+let taint_exec ctx ~param:_ =
+  let s = fresh ctx "in" in
+  let u = fresh ctx "in" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:(next_line ctx) user_input_t s (new_ "UserInput" []);
+        call_stmt ~at:(next_line ctx) s "sanitize" [];
+        call_stmt ~at:(next_line ctx) s "exec" [];
+        decl ~at:alloc_at user_input_t u (new_ "UserInput" []);
+        call_stmt ~at:(next_line ctx) u "exec" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "taint"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "exec before sanitize" } ] }
+
+(* send() is a sink only with mode flag 0 (the `when arg 0 == 0' guard);
+   the twin sends with flag 1 and stays clean *)
+let taint_send_flag ctx ~param:_ =
+  let t = fresh ctx "in" in
+  let u = fresh ctx "in" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:(next_line ctx) user_input_t t (new_ "UserInput" []);
+        call_stmt ~at:(next_line ctx) t "send" [ i 1 ];
+        decl ~at:alloc_at user_input_t u (new_ "UserInput" []);
+        call_stmt ~at:(next_line ctx) u "send" [ i 0 ] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "taint"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "send with mode 0 before sanitize" } ] }
+
+(* a field store is a sink: the tainted object escapes into the heap.
+   The store also disqualifies the object from the escape pre-filter, so
+   this pattern exercises the engine path of the DSL checkers *)
+let taint_store ctx ~param:_ =
+  let h = fresh ctx "holder" in
+  let u = fresh ctx "in" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:(next_line ctx) (Jir.Ast.Tobj "Holder") h (new_ "Holder" []);
+        decl ~at:alloc_at user_input_t u (new_ "UserInput" []);
+        store ~at:(next_line ctx) h "data" u ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "taint"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "stored to the heap before sanitize" } ] }
+
+(* double close; the twin reads then closes once *)
+let close_double ctx ~param =
+  let ok = fresh ctx "fh" in
+  let f = fresh ctx "fh" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:(next_line ctx) (Jir.Ast.Tobj "FileChannel") ok
+          (new_ "FileChannel" []);
+        call_stmt ~at:(next_line ctx) ok "read" [ v param ];
+        call_stmt ~at:(next_line ctx) ok "close" [];
+        decl ~at:alloc_at (Jir.Ast.Tobj "RandomAccessFile") f
+          (new_ "RandomAccessFile" []);
+        call_stmt ~at:(next_line ctx) f "read" [ v param ];
+        call_stmt ~at:(next_line ctx) f "close" [];
+        call_stmt ~at:(next_line ctx) f "close" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "close"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "closed twice" } ] }
+
+(* seek after a branch-guarded close: use-after-close on the closing path,
+   clean on the other *)
+let close_use_after_branch ctx ~param =
+  let g = fresh ctx "fh" in
+  let alloc_at = next_line ctx in
+  { stmts =
+      [ decl ~at:alloc_at (Jir.Ast.Tobj "FileChannel") g
+          (new_ "FileChannel" []);
+        call_stmt ~at:(next_line ctx) g "write" [ v param ];
+        if_ ~at:(next_line ctx)
+          (v param >: i 5)
+          [ call_stmt ~at:(next_line ctx) g "close" [] ]
+          [];
+        call_stmt ~at:(next_line ctx) g "seek" [ v param ];
+        call_stmt ~at:(next_line ctx) g "close" [] ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "close"; exp_kind = `Error;
+          exp_line = alloc_at.Jir.Ast.line;
+          exp_note = "seek after close when param > 5" } ] }
+
+(* a helper throws an exception its signature does not declare and no
+   caller handles it: a true positive for both the plain and the
+   handler-aware exception walk *)
+let exc_twr_unhandled ctx ~param =
+  let helper_name = fresh ctx "riskyU" in
+  let throw_at = next_line ctx in
+  let helper =
+    meth ~cls:ctx.helpers_class ~name:helper_name ~params:[ (Jir.Ast.Tint, "n") ]
+      [ if_ ~at:(next_line ctx)
+          (v "n" >: i 0)
+          [ throw ~at:throw_at "AppError" ]
+          [];
+        ret0 ~at:(next_line ctx) () ]
+  in
+  { stmts = [ sstmt ~at:(next_line ctx) ctx.helpers_class helper_name [ v param ] ];
+    helpers = [ helper ];
+    expected =
+      [ { exp_checker = "exc_twr"; exp_kind = `Exn;
+          exp_line = throw_at.Jir.Ast.line;
+          exp_note = "undeclared AppError escapes every caller" } ] }
+
+(* the try-with-resources idiom the paper's exception checker
+   false-positives on: the throw is undeclared, so the CFET has no
+   caller-side divergence, but the caller lexically wraps the call in a
+   matching try/catch.  No expectation: the plain walk reports it (a false
+   positive), the handler-aware walk must not *)
+let exc_twr_handled_decoy ctx ~param =
+  let helper_name = fresh ctx "riskyH" in
+  let ev = fresh ctx "e" in
+  let helper =
+    meth ~cls:ctx.helpers_class ~name:helper_name ~params:[ (Jir.Ast.Tint, "n") ]
+      [ if_ ~at:(next_line ctx)
+          (v "n" >: i 3)
+          [ throw ~at:(next_line ctx) "AppError" ]
+          [];
+        ret0 ~at:(next_line ctx) () ]
+  in
+  { stmts =
+      [ try_ ~at:(next_line ctx)
+          [ sstmt ~at:(next_line ctx) ctx.helpers_class helper_name [ v param ] ]
+          [ catch "AppError" ev [] ] ];
+    helpers = [ helper ];
+    expected = [] }
+
 (* ---------------- filler ---------------- *)
 
 (* plain integer computation with branches; no property involved *)
@@ -548,6 +734,11 @@ let bug_patterns_for = function
   | "socket" -> [ socket_leak_exn; socket_accept_unbound; socket_reconfigure_leak ]
   | "exception" -> [ exn_unhandled ]
   | "null" -> [ null_deref_branch ]
+  | "lock_order" -> [ lock_order_inversion; lock_order_branch ]
+  | "taint" -> [ taint_exec; taint_send_flag; taint_store ]
+  | "close" -> [ close_double; close_use_after_branch ]
+  | "exc_twr" -> [ exc_twr_unhandled ]
+  | "exc_twr_decoy" -> [ exc_twr_handled_decoy ]
   | c -> invalid_arg ("Patterns.bug_patterns_for: " ^ c)
 
 (* lint-detectable bug patterns, keyed by lint slug (Analysis.Lint names) *)

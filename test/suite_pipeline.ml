@@ -19,7 +19,7 @@ let check_src ?(checkers = Checkers.all ()) ?(track_null = false)
         (fun (c : Checkers.t) ->
           match c.Checkers.kind with
           | `Typestate fsm -> Some fsm
-          | `Exception_walk -> None)
+          | `Exception_walk _ -> None)
         checkers
     else []
   in

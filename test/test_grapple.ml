@@ -27,4 +27,5 @@ let () =
       ("faults", Suite_faults.suite);
       ("parallel", Suite_parallel.suite);
       ("workload", Suite_workload.suite);
+      ("spec", Suite_spec.suite);
       ("baseline", Suite_baseline.suite) ]
