@@ -128,6 +128,15 @@ let no_summary_prefilter_arg =
            ~doc:"disable the interprocedural summary pre-filter; allocations \
                  it would prove unreportable still go through the engine")
 
+let no_alias_prefilter_arg =
+  Arg.(value & flag
+       & info [ "no-alias-prefilter" ]
+           ~doc:"disable the whole-program points-to pre-filter and the \
+                 closure-graph slicer; allocations it would prove \
+                 unreportable still go through the engine and no alias \
+                 edges are sliced.  The warning report is byte-identical \
+                 either way")
+
 let workdir_arg =
   Arg.(value & opt (some string) None
        & info [ "workdir" ] ~docv:"DIR"
@@ -197,8 +206,9 @@ let smt_budget_arg =
 
 let check_cmd =
   let run file checkers specs unroll paths trace_out metrics_out json no_prefilter
-      no_summary_prefilter workdir_opt resume_opt instance_budget edge_budget
-      max_retries fault_plan smt_budget workers_opt admission_budget =
+      no_summary_prefilter no_alias_prefilter workdir_opt resume_opt
+      instance_budget edge_budget max_retries fault_plan smt_budget workers_opt
+      admission_budget =
     let workers =
       match workers_opt with
       | Some w -> max 1 w
@@ -257,6 +267,7 @@ let check_cmd =
             prefilter = not no_prefilter;
             prefilter_properties;
             summary_prefilter = not no_summary_prefilter;
+            alias_prefilter = not no_alias_prefilter;
             max_retries;
             instance_budget_s = instance_budget;
             instance_edge_budget = edge_budget;
@@ -307,7 +318,7 @@ let check_cmd =
         if json then
           (* machine-readable run stats, one line, after the reports *)
           Printf.printf
-            {|{"tool":"stats","warnings":%d,"n_retried":%d,"n_recovered":%d,"n_inconclusive":%d,"n_smt_budget_hits":%d,"n_faults_injected":%d,"n_corrupt_recovered":%d,"cache_enabled":%b,"bytes_read":%d,"bytes_written":%d}|}
+            {|{"tool":"stats","warnings":%d,"n_retried":%d,"n_recovered":%d,"n_inconclusive":%d,"n_smt_budget_hits":%d,"n_faults_injected":%d,"n_corrupt_recovered":%d,"cache_enabled":%b,"bytes_read":%d,"bytes_written":%d,"n_alias_pruned":%d,"n_edges_presliced":%d,"n_edges_sliced":%d}|}
             !total stats.Grapple.Pipeline.n_retried
             stats.Grapple.Pipeline.n_recovered
             stats.Grapple.Pipeline.n_inconclusive
@@ -317,6 +328,9 @@ let check_cmd =
             stats.Grapple.Pipeline.cache_enabled
             stats.Grapple.Pipeline.bytes_read
             stats.Grapple.Pipeline.bytes_written
+            stats.Grapple.Pipeline.n_alias_pruned
+            stats.Grapple.Pipeline.n_edges_presliced
+            stats.Grapple.Pipeline.n_edges_sliced
           |> print_newline;
         let summary = if json then Printf.eprintf else Printf.printf in
         let cache_cell =
@@ -329,8 +343,9 @@ let check_cmd =
         summary
           "\n%d warning(s); |V|=%d |E|before=%d |E|after=%d partitions=%d \
            iterations=%d constraints=%d cache=%s prefiltered=%d \
-           summary-pruned=%d retried=%d recovered=%d inconclusive=%d \
-           smt-budget-hits=%d faults-injected=%d\n"
+           summary-pruned=%d alias-pruned=%d sliced=%d retried=%d \
+           recovered=%d inconclusive=%d smt-budget-hits=%d \
+           faults-injected=%d\n"
           !total stats.Grapple.Pipeline.n_vertices
           stats.Grapple.Pipeline.n_edges_before
           stats.Grapple.Pipeline.n_edges_after
@@ -340,6 +355,8 @@ let check_cmd =
           cache_cell
           stats.Grapple.Pipeline.n_prefiltered
           stats.Grapple.Pipeline.n_summary_pruned
+          stats.Grapple.Pipeline.n_alias_pruned
+          stats.Grapple.Pipeline.n_edges_sliced
           stats.Grapple.Pipeline.n_retried stats.Grapple.Pipeline.n_recovered
           stats.Grapple.Pipeline.n_inconclusive
           stats.Grapple.Pipeline.n_smt_budget_hits
@@ -348,7 +365,8 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"run property checkers on a JIR file")
     Term.(const run $ file_arg $ checkers_arg $ spec_arg $ unroll_arg $ paths_arg
           $ trace_out_arg $ metrics_json_arg $ json_arg $ no_prefilter_arg
-          $ no_summary_prefilter_arg $ workdir_arg $ resume_arg
+          $ no_summary_prefilter_arg $ no_alias_prefilter_arg $ workdir_arg
+          $ resume_arg
           $ instance_budget_arg $ edge_budget_arg $ max_retries_arg
           $ fault_plan_arg $ smt_budget_arg $ workers_arg
           $ admission_budget_arg)
@@ -356,17 +374,40 @@ let check_cmd =
 let interproc_arg =
   Arg.(value & flag
        & info [ "interproc" ]
-           ~doc:"also run the summary-based whole-program lints \
-                 (interproc-null, interproc-leak)")
+           ~doc:"also run the whole-program lints: the summary-based ones \
+                 (interproc-null, interproc-leak) and the points-to-based \
+                 ones (pointsto-never-read, pointsto-confused-sink)")
 
 let lint_cmd =
   let run file json interproc =
     let program = load file in
-    let diags = Analysis.Lint.check_program program in
+    (* per-pass latency: every analysis pass reports its wall time into a
+       histogram (one per pass name) so repeated passes — the intraproc
+       lints run once per method — accumulate count and total seconds *)
+    let reg = Obs.Registry.create () in
+    let pass_names = ref [] in
+    let on_pass name secs =
+      if not (List.mem name !pass_names) then
+        pass_names := name :: !pass_names;
+      Obs.Registry.observe (Obs.Registry.histogram reg ("lint.pass." ^ name))
+        secs
+    in
+    let timed name f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      on_pass name (Unix.gettimeofday () -. t0);
+      r
+    in
+    let diags = Analysis.Lint.check_program ~on_pass program in
     let diags =
       if interproc then
+        let pt =
+          timed "pointsto-solve" (fun () -> Analysis.Pointsto.analyze program)
+        in
         diags
-        @ Analysis.Summaries.interproc_diags ~fsms:(Checkers.fsms ()) program
+        @ Analysis.Summaries.interproc_diags ~on_pass
+            ~fsms:(Checkers.fsms ()) program
+        @ timed "pointsto-lints" (fun () -> Analysis.Pointsto.diags pt)
       else diags
     in
     List.iter
@@ -374,15 +415,29 @@ let lint_cmd =
         if json then print_endline (Analysis.Lint.to_json d)
         else print_endline (Analysis.Lint.to_string d))
       diags;
-    if not json then
-      Printf.printf "%d lint diagnostic(s)\n" (List.length diags);
+    if json then begin
+      (* one machine-readable timing document after the diagnostics *)
+      let parts =
+        List.sort compare !pass_names
+        |> List.map (fun n ->
+               let h = Obs.Registry.histogram reg ("lint.pass." ^ n) in
+               Printf.sprintf {|{"pass":"%s","count":%d,"seconds":%.6f}|} n
+                 (Obs.Registry.hist_count h)
+                 (Obs.Registry.hist_sum h))
+      in
+      Printf.printf {|{"tool":"lint-timing","passes":[%s]}|}
+        (String.concat "," parts);
+      print_newline ()
+    end
+    else Printf.printf "%d lint diagnostic(s)\n" (List.length diags);
     if diags <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"run the dataflow lint analyses (use-before-init, null-deref, \
              dead-branch, unreachable; with --interproc also the \
-             summary-based whole-program lints) on a JIR file")
+             summary- and points-to-based whole-program lints) on a JIR \
+             file")
     Term.(const run $ file_arg $ json_arg $ interproc_arg)
 
 let cfet_cmd =

@@ -202,7 +202,8 @@ let enumerate ~defined ~meth_id ~alloc_sid ~var (m : Jir.Ast.meth) :
    of a tracked class that provably stays local to its method, with its
    per-path event sequences and path conditions. *)
 let analyze ~tracked (program : Jir.Ast.program) : resolved list =
-  let defined ~cls ~meth = Jir.Ast.find_method program ~cls ~meth <> None in
+  let idx = Jir.Ast.index program in
+  let defined ~cls ~meth = Jir.Ast.find_method_idx idx ~cls ~meth <> None in
   Jir.Ast.all_methods program
   |> List.concat_map (fun (m : Jir.Ast.meth) ->
          if not (method_qualifies m) then []

@@ -16,7 +16,9 @@ let lint_names =
 
 let diag lint meth at message = { lint; meth; at; message }
 
-let check_method (m : Jir.Ast.meth) : diag list =
+(* [on_pass name seconds] is called once per pass per method so the CLI can
+   feed per-pass latency histograms in the metrics registry. *)
+let check_method ?(on_pass = fun _ _ -> ()) (m : Jir.Ast.meth) : diag list =
   let g = Cfg.build m in
   let id = Jir.Ast.meth_id m in
   let out = ref [] in
@@ -25,16 +27,22 @@ let check_method (m : Jir.Ast.meth) : diag list =
     | Some at -> out := diag lint id at message :: !out
     | None -> ()
   in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    on_pass name (Unix.gettimeofday () -. t0);
+    r
+  in
   List.iter
     (fun (v, node) ->
       emit "use-before-init" node
         (Printf.sprintf "variable '%s' may be used before it is assigned" v))
-    (Definite_assign.violations g);
+    (timed "use-before-init" (fun () -> Definite_assign.violations g));
   List.iter
     (fun (v, node) ->
       emit "null-deref" node
         (Printf.sprintf "variable '%s' is definitely null when dereferenced" v))
-    (Nullness.violations g);
+    (timed "null-deref" (fun () -> Nullness.violations g));
   List.iter
     (fun (b : Unreachable.branch_verdict) ->
       if b.Unreachable.dead_nonempty then
@@ -42,10 +50,10 @@ let check_method (m : Jir.Ast.meth) : diag list =
           (Printf.sprintf "condition is always %b; the %s branch is dead"
              b.Unreachable.always
              (if b.Unreachable.always then "false" else "true")))
-    (Unreachable.decided_branches g);
+    (timed "dead-branch" (fun () -> Unreachable.decided_branches g));
   List.iter
     (fun node -> emit "unreachable" node "statement is unreachable")
-    (Unreachable.unreachable_nodes g);
+    (timed "unreachable" (fun () -> Unreachable.unreachable_nodes g));
   (* one diagnostic per (lint, line): unrolled copies or multi-var nodes
      should not spam *)
   !out
@@ -54,9 +62,9 @@ let check_method (m : Jir.Ast.meth) : diag list =
            (a.lint, a.at.Jir.Ast.file, a.at.Jir.Ast.line, a.message)
            (b.lint, b.at.Jir.Ast.file, b.at.Jir.Ast.line, b.message))
 
-let check_program (p : Jir.Ast.program) : diag list =
+let check_program ?on_pass (p : Jir.Ast.program) : diag list =
   Jir.Ast.all_methods p
-  |> List.concat_map check_method
+  |> List.concat_map (check_method ?on_pass)
   |> List.sort (fun a b ->
          compare
            (a.at.Jir.Ast.file, a.at.Jir.Ast.line, a.lint, a.meth)

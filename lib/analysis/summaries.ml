@@ -787,9 +787,16 @@ let leak_diags (fsms : Fsm.t list) (program : Jir.Ast.program) :
            (b.Lint.at.Jir.Ast.file, b.Lint.at.Jir.Ast.line, b.Lint.meth))
 
 (* Combined interprocedural lint surface behind [grapple lint --interproc]. *)
-let interproc_diags ~(fsms : Fsm.t list) (program : Jir.Ast.program) :
-    Lint.diag list =
-  Interproc.null_diags program @ leak_diags fsms program
+let interproc_diags ?(on_pass = fun _ _ -> ()) ~(fsms : Fsm.t list)
+    (program : Jir.Ast.program) : Lint.diag list =
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    on_pass name (Unix.gettimeofday () -. t0);
+    r
+  in
+  timed "interproc-null" (fun () -> Interproc.null_diags program)
+  @ timed "interproc-leak" (fun () -> leak_diags fsms program)
   |> List.sort (fun (a : Lint.diag) b ->
          compare
            (a.Lint.at.Jir.Ast.file, a.Lint.at.Jir.Ast.line, a.Lint.lint,

@@ -46,6 +46,16 @@ type config = {
          (Analysis.Summaries) never reaches the FSM error state and never
          ends life in a non-accepting state — no report is possible, so
          they are excluded from the graphs with no local re-check *)
+  alias_prefilter : bool;
+      (* third triage stage (ISSUE 7): whole-program Andersen points-to.
+         Tracked allocations whose points-to-reachable region can never
+         flow into an event-bearing statement are pruned before instance
+         creation (strictly beyond escape+summaries: field-sensitive flow
+         through the heap is visible here), and Assign-labeled alias-graph
+         edges no allocation can cross are sliced away before phase 1 —
+         both at byte-identical warnings.  Pruning needs
+         [prefilter_properties]; slicing is property-independent and runs
+         whenever this flag is on *)
   max_retries : int;
       (* supervisor restarts per checking instance (each restart resumes
          from the instance's last checkpoint) before the instance is
@@ -84,6 +94,7 @@ let default_config ~workdir =
     prefilter = true;
     prefilter_properties = [];
     summary_prefilter = true;
+    alias_prefilter = true;
     max_retries = 3;
     instance_budget_s = 0.;
     instance_edge_budget = 0;
@@ -149,6 +160,14 @@ type prepared = {
       (* allocation sids the interprocedural summary pre-filter proved
          unreportable for every property tracking their class; excluded
          from the graphs outright *)
+  alias_pruned : int list;
+      (* allocation sids the points-to pre-filter proved unreportable
+         (no event-bearing statement can observe them, and they mediate no
+         heap alias chain); excluded from the graphs outright *)
+  n_edges_presliced : int;
+      (* alias-graph edges built before points-to slicing *)
+  n_edges_sliced : int;
+      (* Assign edges the points-to slicer removed before phase 1 *)
   timing : timing;
   faults : fault_stats;
 }
@@ -255,11 +274,55 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
         else [])
   in
   List.iter (fun sid -> Hashtbl.replace excluded sid ()) summary_pruned;
+  (* points-to pre-filter (ISSUE 7): whole-program Andersen analysis over
+     the unrolled program.  Its points-to sets over-approximate the CFL
+     flowsTo relation the engine computes, so an allocation whose entire
+     reachable event alphabet keeps every tracking property accepting can
+     never yield a report — pruned outright, like the summary tier.  The
+     same analysis drives the closure-graph slicer below, which is
+     property-independent, so the solver runs whenever the flag is on. *)
+  let pointsto, alias_pruned =
+    timed_span "phase0.alias_prefilter" pre (fun () ->
+        if not config.alias_prefilter then (None, [])
+        else
+          let pt =
+            Analysis.Pointsto.analyze ~track_null:config.track_null program
+          in
+          let pruned =
+            if config.prefilter_properties = [] then []
+            else
+              Analysis.Pointsto.prunable_sids pt
+                ~fsms:config.prefilter_properties
+              |> List.filter (fun sid -> not (Hashtbl.mem excluded sid))
+          in
+          (Some pt, pruned))
+  in
+  List.iter (fun sid -> Hashtbl.replace excluded sid ()) alias_pruned;
   let alias_graph =
     timed_span "phase0.alias_graph" pre (fun () ->
         Alias_graph.build ~max_edges:config.max_graph_edges
           ~track_null:config.track_null ~exclude:(Hashtbl.mem excluded) icfet
           clones)
+  in
+  (* closure-graph slicing (ISSUE 7): drop Assign edges whose source
+     variable has an empty points-to set — no allocation can cross them in
+     any flowsTo derivation, so the phase-1 closure is unchanged while the
+     engine sees fewer seed edges. *)
+  let n_edges_presliced = Alias_graph.n_edges alias_graph in
+  let n_edges_sliced =
+    timed_span "phase0.alias_slice" pre (fun () ->
+        match pointsto with
+        | None -> 0
+        | Some pt ->
+            (* vertex [meth] fields are dense icfet indices; resolve them
+               to qualified method ids once *)
+            let meth_ids =
+              Array.init (Icfet.n_methods icfet) (fun i ->
+                  Jir.Ast.meth_id (Icfet.cfet icfet i).Cfet.meth)
+            in
+            Alias_graph.slice_assign_edges alias_graph
+              ~reaches:(fun ~meth ~var ->
+                Analysis.Pointsto.nonempty pt ~meth_id:meth_ids.(meth) ~var))
   in
   let faults =
     { n_retried = 0; n_recovered = 0; n_inconclusive = 0;
@@ -336,7 +399,8 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   timing.preprocess_s <- !pre;
   timing.compute_s <- !comp;
   { config; program; icfet; callgraph; clones; alias_graph; alias_engine;
-    flows; n_alias_pairs; prefiltered; summary_pruned; timing; faults }
+    flows; n_alias_pairs; prefiltered; summary_pruned; alias_pruned;
+    n_edges_presliced; n_edges_sliced; timing; faults }
 
 (* ---------------- phases 2 and 3 for one property ---------------- *)
 
@@ -850,6 +914,11 @@ type stats = {
   n_prefiltered : int;  (* tracked allocations resolved without the engine *)
   n_summary_pruned : int;
       (* tracked allocations the interprocedural summary stage dropped *)
+  n_alias_pruned : int;
+      (* tracked allocations the points-to stage dropped *)
+  n_edges_presliced : int;
+      (* alias-graph edges built before points-to slicing *)
+  n_edges_sliced : int;  (* Assign edges the points-to slicer removed *)
   edges_added : int;  (* transitive edges derived across all engines *)
   n_retried : int;
       (* retry events: storage-op retries plus supervisor instance restarts *)
@@ -934,6 +1003,8 @@ let stats (p : prepared) (props : property_result list) : stats =
   set_g "pipeline.check_s" p.timing.check_s;
   set_c "pipeline.prefiltered" (List.length p.prefiltered);
   set_c "pipeline.summary_pruned" (List.length p.summary_pruned);
+  set_c "pipeline.alias_pruned" (List.length p.alias_pruned);
+  set_c "pipeline.edges_sliced" p.n_edges_sliced;
   set_c "pipeline.retried" n_retried;
   set_c "pipeline.recovered" p.faults.n_recovered;
   set_c "pipeline.inconclusive" p.faults.n_inconclusive;
@@ -957,6 +1028,9 @@ let stats (p : prepared) (props : property_result list) : stats =
     breakdown = Engine.Metrics.breakdown m;
     n_prefiltered = List.length p.prefiltered;
     n_summary_pruned = List.length p.summary_pruned;
+    n_alias_pruned = List.length p.alias_pruned;
+    n_edges_presliced = p.n_edges_presliced;
+    n_edges_sliced = p.n_edges_sliced;
     edges_added = count m.Engine.Metrics.edges_added;
     n_retried;
     n_recovered = p.faults.n_recovered;

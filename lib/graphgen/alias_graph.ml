@@ -414,6 +414,41 @@ let objects (g : t) = g.objects
 
 let iter_edges (g : t) f = List.iter f g.edges
 
+(* ------------------------------------------------------------------ *)
+(* Closure-graph slicing.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop every edge [keep] rejects, preserving the order of the survivors
+   (edge order seeds the engine deterministically).  Returns the number of
+   edges dropped. *)
+let filter_edges (g : t) ~keep : int =
+  let kept = List.filter keep g.edges in
+  let n_kept = List.length kept in
+  let dropped = g.n_edges - n_kept in
+  g.edges <- kept;
+  g.n_edges <- n_kept;
+  dropped
+
+(* Slice away Assign-labeled edges that a whole-program points-to analysis
+   proves no object can cross.  In the pointer grammar every use of an
+   Assign edge extends some FlowsTo(o, src) into FlowsTo(o, dst) — New and
+   Load are the only other FlowsTo producers — so an Assign edge whose
+   source variable has an empty points-to set supports no derivation at
+   all: dropping it leaves the closure, and therefore every warning,
+   unchanged.  [reaches ~meth ~var] must answer "may any allocation flow
+   into this variable?" conservatively (over-approximation keeps edges,
+   never drops live ones); [meth] is the dense ICFET method index carried
+   by the vertex.  Returns the number of edges sliced. *)
+let slice_assign_edges (g : t) ~(reaches : meth:int -> var:string -> bool) :
+    int =
+  filter_edges g ~keep:(fun (e : edge) ->
+      match e.label with
+      | Cfl.Pointer_grammar.Assign -> (
+          match g.info.(e.src) with
+          | Var_vertex { var; meth; _ } -> reaches ~meth ~var
+          | Obj_vertex _ -> true)
+      | _ -> true)
+
 let pp_vertex (g : t) ppf id =
   match g.info.(id) with
   | Var_vertex { inst; var; node; version; _ } ->

@@ -113,6 +113,36 @@ let find_method program ~cls ~meth =
 let all_methods program =
   List.concat_map (fun c -> c.methods) program.classes
 
+(* Hashtable-backed lookup index.  [find_class]/[find_method] scan lists and
+   sit on hot paths (resolver target checks, call binding, throws lookup);
+   whole-program passes that touch every call site build one of these once.
+   First binding wins, matching [List.find_opt] on duplicate names. *)
+type index = {
+  idx_classes : (string, cls) Hashtbl.t;
+  idx_methods : (string * string, meth) Hashtbl.t;
+}
+
+let index (p : program) : index =
+  let idx_classes = Hashtbl.create 64 in
+  let idx_methods = Hashtbl.create 256 in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem idx_classes c.cname) then begin
+        Hashtbl.add idx_classes c.cname c;
+        List.iter
+          (fun m ->
+            if not (Hashtbl.mem idx_methods (c.cname, m.mname)) then
+              Hashtbl.add idx_methods (c.cname, m.mname) m)
+          c.methods
+      end)
+    p.classes;
+  { idx_classes; idx_methods }
+
+let find_class_idx (idx : index) name = Hashtbl.find_opt idx.idx_classes name
+
+let find_method_idx (idx : index) ~cls ~meth =
+  Hashtbl.find_opt idx.idx_methods (cls, meth)
+
 (* Structural size of a program in statements, used by workload reports. *)
 let rec block_size (b : block) =
   List.fold_left (fun acc s -> acc + stmt_size s) 0 b

@@ -56,7 +56,11 @@ let build (p : program) : t =
       (fun c -> List.map (fun m -> meth_id m) c.methods)
       p.classes
   in
-  let exists id = List.mem id methods in
+  (* Hashtable membership: the per-call [List.mem] scan made this loop
+     quadratic in program size. *)
+  let defined = Hashtbl.create 256 in
+  List.iter (fun id -> Hashtbl.replace defined id ()) methods;
+  let exists id = Hashtbl.mem defined id in
   List.iter
     (fun c ->
       List.iter

@@ -12,6 +12,10 @@ let err at fmt = Format.kasprintf (fun msg -> { at; msg }) fmt
 
 type env = {
   classes : (string, cls) Hashtbl.t;
+  (* class name -> method-name set; [check_target] runs once per call site,
+     so the per-call [List.exists] scan over the class's methods was
+     quadratic on call-heavy classes *)
+  method_names : (string, (string, unit) Hashtbl.t) Hashtbl.t;
   mutable vars : (var * typ) list;  (* innermost scope first *)
   mutable errors : error list;
 }
@@ -48,10 +52,10 @@ let resolve_call env at (c : call) : call =
    to *defined* classes are checked for a matching method. *)
 let check_target env at (c : call) =
   if c.target_class <> "" then
-    match Hashtbl.find_opt env.classes c.target_class with
+    match Hashtbl.find_opt env.method_names c.target_class with
     | None -> ()
-    | Some cls ->
-        if not (List.exists (fun m -> m.mname = c.mname) cls.methods) then
+    | Some names ->
+        if not (Hashtbl.mem names c.mname) then
           record env
             (err at "class %s has no method %s" c.target_class c.mname)
 
@@ -117,16 +121,24 @@ let resolve_method env (m : meth) : meth =
    errors found (empty list means the program is well-formed). *)
 let run (p : program) : program * error list =
   let classes = Hashtbl.create 64 in
-  List.iter (fun c -> Hashtbl.replace classes c.cname c) p.classes;
-  let env = { classes; vars = []; errors = [] } in
+  let method_names = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace classes c.cname c;
+      let names = Hashtbl.create (List.length c.methods) in
+      List.iter (fun m -> Hashtbl.replace names m.mname ()) c.methods;
+      Hashtbl.replace method_names c.cname names)
+    p.classes;
+  let env = { classes; method_names; vars = []; errors = [] } in
   let classes' =
     List.map
       (fun c -> { c with methods = List.map (resolve_method env) c.methods })
       p.classes
   in
+  let idx = index { p with classes = classes' } in
   List.iter
     (fun (c, m) ->
-      match find_method { p with classes = classes' } ~cls:c ~meth:m with
+      match find_method_idx idx ~cls:c ~meth:m with
       | Some _ -> ()
       | None -> record env (err no_pos "entry %s.%s does not exist" c m))
     p.entries;

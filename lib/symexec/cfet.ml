@@ -69,8 +69,12 @@ type config = {
 (* Calls that may throw according to method signatures declared in the
    program, the paper's default behaviour for analyzed code. *)
 let may_throw_of_program (p : Jir.Ast.program) : Jir.Ast.call -> string option =
+  let idx = Jir.Ast.index p in
   fun c ->
-    match Jir.Ast.find_method p ~cls:c.Jir.Ast.target_class ~meth:c.Jir.Ast.mname with
+    match
+      Jir.Ast.find_method_idx idx ~cls:c.Jir.Ast.target_class
+        ~meth:c.Jir.Ast.mname
+    with
     | Some m -> (match m.Jir.Ast.throws with e :: _ -> Some e | [] -> None)
     | None -> None
 

@@ -246,7 +246,9 @@ let mini_zookeeper () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("io", 1); ("exception", 7); ("socket", 1); ("null", 1) ];
-      lint_bugs = [ ("use-before-init", 1); ("dead-branch", 1) ];
+      lint_bugs =
+        [ ("use-before-init", 1); ("dead-branch", 1);
+          ("pointsto-never-read", 1) ];
       loops_per_subject = 2 }
 
 let mini_hadoop () =
@@ -260,7 +262,9 @@ let mini_hadoop () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("exception", 7) ];
-      lint_bugs = [ ("use-before-init", 1); ("interproc-null", 1) ];
+      lint_bugs =
+        [ ("use-before-init", 1); ("interproc-null", 1);
+          ("pointsto-confused-sink", 1) ];
       loops_per_subject = 3 }
 
 let mini_hdfs () =
@@ -274,7 +278,7 @@ let mini_hdfs () =
       patterns_per_method = 2;
       calls_per_method = 2;
       bugs = [ ("io", 1); ("lock", 1); ("exception", 5); ("socket", 1) ];
-      lint_bugs = [ ("null-deref", 1) ];
+      lint_bugs = [ ("null-deref", 1); ("pointsto-never-read", 1) ];
       loops_per_subject = 3 }
 
 let mini_hbase () =
@@ -289,7 +293,8 @@ let mini_hbase () =
       calls_per_method = 2;
       bugs = [ ("io", 2); ("exception", 22) ];
       lint_bugs =
-        [ ("null-deref", 1); ("dead-branch", 1); ("interproc-null", 1) ];
+        [ ("null-deref", 1); ("dead-branch", 1); ("interproc-null", 1);
+          ("pointsto-never-read", 1); ("pointsto-confused-sink", 1) ];
       loops_per_subject = 4 }
 
 (* Subjects for the DSL-defined checkers (lib/spec builtins).  Each plants

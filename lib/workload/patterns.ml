@@ -611,15 +611,21 @@ let taint_store ctx ~param:_ =
   let h = fresh ctx "holder" in
   let u = fresh ctx "in" in
   let alloc_at = next_line ctx in
+  let store_at = next_line ctx in
   { stmts =
       [ decl ~at:(next_line ctx) (Jir.Ast.Tobj "Holder") h (new_ "Holder" []);
         decl ~at:alloc_at user_input_t u (new_ "UserInput" []);
-        store ~at:(next_line ctx) h "data" u ];
+        store ~at:store_at h "data" u ];
     helpers = [];
     expected =
       [ { exp_checker = "taint"; exp_kind = `Error;
           exp_line = alloc_at.Jir.Ast.line;
-          exp_note = "stored to the heap before sanitize" } ] }
+          exp_note = "stored to the heap before sanitize" };
+        (* the stored field is also never loaded anywhere, so the
+           points-to never-read lint fires at the store *)
+        { exp_checker = "pointsto"; exp_kind = `Lint "pointsto-never-read";
+          exp_line = store_at.Jir.Ast.line;
+          exp_note = "field 'data' is stored but never loaded" } ] }
 
 (* double close; the twin reads then closes once *)
 let close_double ctx ~param =
@@ -707,6 +713,60 @@ let exc_twr_handled_decoy ctx ~param =
     helpers = [ helper ];
     expected = [] }
 
+(* ---------------- points-to lint patterns ---------------- *)
+
+(* a lock is parked into a holder field nobody ever loads: dead heap
+   traffic the whole-program points-to lint reports at the store.  The
+   pattern doubles as the acceptance witness for the points-to pre-filter
+   tier: the store disqualifies the lock from the escape tier and
+   wildcards it in the summary tier, but its reachable event alphabet is
+   empty, so the lock FSM can never leave its accepting initial state —
+   only the points-to tier proves it unreportable *)
+let pointsto_never_read ctx ~param:_ =
+  let h = fresh ctx "holder" in
+  let l = fresh ctx "lk" in
+  let store_at = next_line ctx in
+  { stmts =
+      [ decl ~at:(next_line ctx) (Jir.Ast.Tobj "Holder") h (new_ "Holder" []);
+        decl ~at:(next_line ctx) lock_t l (new_ "ReentrantLock" []);
+        store ~at:store_at h "parked" l ];
+    helpers = [];
+    expected =
+      [ { exp_checker = "pointsto";
+          exp_kind = `Lint "pointsto-never-read";
+          exp_line = store_at.Jir.Ast.line;
+          exp_note = "field 'parked' is stored but never loaded" } ] }
+
+(* user input parked in a holder field crosses a method boundary through
+   the heap and reaches exec() in the callee: no single method sees both
+   the source allocation and the sink, so only the whole-program
+   points-to lint can connect them *)
+let pointsto_confused_sink ctx ~param:_ =
+  let helper_name = fresh ctx "drain" in
+  let h = fresh ctx "holder" in
+  let u = fresh ctx "in" in
+  let hw = fresh ctx "w" in
+  let load_at = next_line ctx in
+  let sink_at = next_line ctx in
+  let helper =
+    meth ~cls:ctx.helpers_class ~name:helper_name
+      ~params:[ (Jir.Ast.Tobj "Holder", "b") ]
+      [ decl ~at:load_at user_input_t hw (load "b" "payload");
+        call_stmt ~at:sink_at hw "exec" [];
+        ret0 ~at:(next_line ctx) () ]
+  in
+  { stmts =
+      [ decl ~at:(next_line ctx) (Jir.Ast.Tobj "Holder") h (new_ "Holder" []);
+        decl ~at:(next_line ctx) user_input_t u (new_ "UserInput" []);
+        store ~at:(next_line ctx) h "payload" u;
+        sstmt ~at:(next_line ctx) ctx.helpers_class helper_name [ v h ] ];
+    helpers = [ helper ];
+    expected =
+      [ { exp_checker = "pointsto";
+          exp_kind = `Lint "pointsto-confused-sink";
+          exp_line = sink_at.Jir.Ast.line;
+          exp_note = "heap-borne UserInput reaches exec in the callee" } ] }
+
 (* ---------------- filler ---------------- *)
 
 (* plain integer computation with branches; no property involved *)
@@ -747,4 +807,6 @@ let lint_patterns_for = function
   | "null-deref" -> [ lint_null_deref ]
   | "dead-branch" -> [ lint_dead_branch ]
   | "interproc-null" -> [ interproc_null_via_return ]
+  | "pointsto-never-read" -> [ pointsto_never_read ]
+  | "pointsto-confused-sink" -> [ pointsto_confused_sink ]
   | c -> invalid_arg ("Patterns.lint_patterns_for: " ^ c)

@@ -28,4 +28,5 @@ let () =
       ("parallel", Suite_parallel.suite);
       ("workload", Suite_workload.suite);
       ("spec", Suite_spec.suite);
-      ("baseline", Suite_baseline.suite) ]
+      ("baseline", Suite_baseline.suite);
+      ("pointsto", Suite_pointsto.suite) ]
