@@ -197,6 +197,44 @@ let admission_budget_arg =
                  running concurrently (0 = unlimited); bounds the peak \
                  footprint of a parallel run")
 
+let shard_procs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shard-procs" ] ~docv:"N"
+           ~doc:"run the phase-2/3 checking instances in N supervised \
+                 worker $(i,processes) instead of in-process domains \
+                 (default: the GRAPPLE_SHARD_PROCS environment variable, \
+                 else 0 = in-process).  A worker that crashes, hangs, or \
+                 overruns its deadline is killed and its instance \
+                 re-dispatched from its checkpoint manifest; the warning \
+                 report is byte-identical at every process count")
+
+let heartbeat_ms_arg =
+  Arg.(value & opt float 100.
+       & info [ "heartbeat-ms" ] ~docv:"MS"
+           ~doc:"shard-worker heartbeat period in milliseconds; a worker \
+                 silent for too many periods is presumed hung and replaced")
+
+let max_redispatch_arg =
+  Arg.(value & opt int 3
+       & info [ "max-redispatch" ] ~docv:"N"
+           ~doc:"re-dispatches of a checking instance whose shard worker \
+                 died before the instance is degraded to an `inconclusive' \
+                 report")
+
+let shard_deadline_arg =
+  Arg.(value & opt float 0.
+       & info [ "shard-deadline" ] ~docv:"SECONDS"
+           ~doc:"wall deadline per instance dispatch in shard mode; a \
+                 worker that overruns it is killed and the instance \
+                 re-dispatched (0 = none)")
+
+let shard_kill_nth_arg =
+  Arg.(value & opt int 0
+       & info [ "shard-kill-nth" ] ~docv:"N"
+           ~doc:"fault injection: SIGKILL the worker receiving the Nth \
+                 instance assignment of the run (0 = off); exercises the \
+                 re-dispatch path deterministically")
+
 let smt_budget_arg =
   Arg.(value & opt int 0
        & info [ "smt-budget" ] ~docv:"N"
@@ -208,7 +246,24 @@ let check_cmd =
   let run file checkers specs unroll paths trace_out metrics_out json no_prefilter
       no_summary_prefilter no_alias_prefilter workdir_opt resume_opt
       instance_budget edge_budget max_retries fault_plan smt_budget workers_opt
-      admission_budget =
+      admission_budget shard_procs_opt heartbeat_ms max_redispatch
+      shard_deadline shard_kill_nth =
+    let shard_procs =
+      match shard_procs_opt with
+      | Some n -> max 0 n
+      | None -> (
+          match
+            Option.bind (Sys.getenv_opt "GRAPPLE_SHARD_PROCS") int_of_string_opt
+          with
+          | Some n -> max 0 n
+          | None -> 0)
+    in
+    (* SIGINT/SIGTERM request a cooperative interrupt: the engine raises at
+       its next checkpoint boundary, where the manifest is already durable,
+       so an interrupted run is always --resume-able *)
+    let on_signal = Sys.Signal_handle (fun _ -> Engine.Interrupt.request ()) in
+    (try Sys.set_signal Sys.sigint on_signal with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm on_signal with Invalid_argument _ -> ());
     let workers =
       match workers_opt with
       | Some w -> max 1 w
@@ -258,7 +313,23 @@ let check_cmd =
           f dir
       | None -> with_workdir f
     in
+    (* Sweep orphaned *.tmp files (a writer interrupted mid-atomic-write)
+       from the workdir and every engine subdirectory, so nothing stale
+       shadows the durable state a later --resume restores. *)
+    let sweep_temps workdir =
+      let swept = ref (Engine.Storage.sweep_stale_temps ~dir:workdir) in
+      let sweep d = swept := !swept + Engine.Storage.sweep_stale_temps ~dir:d in
+      sweep (Filename.concat workdir "alias");
+      if Sys.file_exists workdir && Sys.is_directory workdir then
+        Array.iter
+          (fun f ->
+            if String.length f > 3 && String.sub f 0 3 = "df-" then
+              sweep (Filename.concat workdir f))
+          (Sys.readdir workdir);
+      !swept
+    in
     in_workdir (fun workdir ->
+        try
         let config =
           { (Grapple.Pipeline.default_config ~workdir) with
             Grapple.Pipeline.unroll_bound = unroll;
@@ -273,13 +344,18 @@ let check_cmd =
             instance_edge_budget = edge_budget;
             resume = resume_opt <> None;
             workers;
-            admission_budget }
+            admission_budget;
+            shard_procs;
+            heartbeat_ms;
+            max_redispatch;
+            shard_deadline_s = shard_deadline;
+            shard_kill_nth }
         in
         let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
         let results, props, schedule = Checkers.run_all_scheduled prepared cs in
         (* per-worker schedule summary: stderr only, so stdout stays
            byte-identical across worker counts *)
-        if workers > 1 then
+        if workers > 1 || shard_procs > 0 then
           List.iter
             (fun (s : Grapple.Pipeline.schedule_entry) ->
               Printf.eprintf
@@ -360,7 +436,17 @@ let check_cmd =
           stats.Grapple.Pipeline.n_retried stats.Grapple.Pipeline.n_recovered
           stats.Grapple.Pipeline.n_inconclusive
           stats.Grapple.Pipeline.n_smt_budget_hits
-          stats.Grapple.Pipeline.n_faults_injected)
+          stats.Grapple.Pipeline.n_faults_injected
+        with Engine.Interrupted ->
+          (* interrupted between checkpoints: the manifests on disk are
+             durable and consistent — clean up orphaned temp files and tell
+             the user how to continue *)
+          let swept = sweep_temps workdir in
+          Printf.eprintf
+            "interrupted: checkpoint manifests are durable (%d stale temp \
+             file(s) swept); continue with\n  grapple check %s --resume %s\n%!"
+            swept file workdir;
+          exit 130)
   in
   Cmd.v (Cmd.info "check" ~doc:"run property checkers on a JIR file")
     Term.(const run $ file_arg $ checkers_arg $ spec_arg $ unroll_arg $ paths_arg
@@ -369,7 +455,8 @@ let check_cmd =
           $ resume_arg
           $ instance_budget_arg $ edge_budget_arg $ max_retries_arg
           $ fault_plan_arg $ smt_budget_arg $ workers_arg
-          $ admission_budget_arg)
+          $ admission_budget_arg $ shard_procs_arg $ heartbeat_ms_arg
+          $ max_redispatch_arg $ shard_deadline_arg $ shard_kill_nth_arg)
 
 let interproc_arg =
   Arg.(value & flag

@@ -81,6 +81,22 @@ type config = {
          are kept from running simultaneously.  An instance is always
          admitted when nothing else is in flight, so progress never
          starves *)
+  shard_procs : int;
+      (* worker *processes* for the phase-2/3 instances (ISSUE 8): 0 runs
+         them in-process (on [workers] domains); N > 0 forks N crash-isolated
+         worker processes supervised with heartbeats and re-dispatch.
+         Reports are byte-identical at every process count *)
+  heartbeat_ms : float;
+      (* shard-worker heartbeat period; a worker silent for
+         [Supervisor.max_missed_heartbeats] periods is presumed hung *)
+  max_redispatch : int;
+      (* re-dispatches of a checking instance whose worker process died
+         before the instance degrades to an [Inconclusive] report *)
+  shard_deadline_s : float;
+      (* wall deadline per instance dispatch in shard mode; 0 = none *)
+  shard_kill_nth : int;
+      (* deterministic fault injection: SIGKILL the worker receiving the
+         Nth instance assignment of the run (0 = off) *)
 }
 
 let default_config ~workdir =
@@ -100,7 +116,12 @@ let default_config ~workdir =
     instance_edge_budget = 0;
     resume = false;
     workers = 1;
-    admission_budget = 0 }
+    admission_budget = 0;
+    shard_procs = 0;
+    heartbeat_ms = 100.;
+    max_redispatch = 3;
+    shard_deadline_s = 0.;
+    shard_kill_nth = 0 }
 
 type timing = {
   mutable preprocess_s : float;  (* frontend + graph generation + loading *)
@@ -170,6 +191,9 @@ type prepared = {
       (* Assign edges the points-to slicer removed before phase 1 *)
   timing : timing;
   faults : fault_stats;
+  sup_reg : Obs.Registry.t;
+      (* the shard supervisor's metric registry (spawns, kills,
+         re-dispatches, heartbeat latency); empty in in-process runs *)
 }
 
 let timed cell f =
@@ -400,9 +424,22 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   timing.compute_s <- !comp;
   { config; program; icfet; callgraph; clones; alias_graph; alias_engine;
     flows; n_alias_pairs; prefiltered; summary_pruned; alias_pruned;
-    n_edges_presliced; n_edges_sliced; timing; faults }
+    n_edges_presliced; n_edges_sliced; timing; faults;
+    sup_reg = Obs.Registry.create () }
 
 (* ---------------- phases 2 and 3 for one property ---------------- *)
+
+(* What a shard worker reports about its instance in place of live engine
+   state (which cannot cross the process boundary): the scalar totals
+   [stats] needs plus the engine's full metric registry — plain data, so
+   the whole record marshals. *)
+type shard_summary = {
+  sm_vertices : int;     (* dataflow-graph vertices *)
+  sm_seed_edges : int;
+  sm_total_edges : int;  (* exact, counted by the worker before exit *)
+  sm_partitions : int;
+  sm_metrics : Obs.Registry.t;
+}
 
 type property_result = {
   fsm : Fsm.t;
@@ -412,6 +449,8 @@ type property_result = {
          only report is the matching [Inconclusive] entry *)
   dataflow_engine : Dataflow_engine.t option;  (* [None] when degraded *)
   dataflow_graph : Dataflow_graph.t option;
+  summary : shard_summary option;
+      (* present when the instance ran in a shard worker process *)
 }
 
 let context_strings (p : prepared) inst =
@@ -522,7 +561,8 @@ let inconclusive_result (fsm : Fsm.t) (reason : string) : property_result =
           trace = [] } ];
     degraded = Some reason;
     dataflow_engine = None;
-    dataflow_graph = None }
+    dataflow_graph = None;
+    summary = None }
 
 (* Best-effort removal of a degraded instance's partition files: nothing
    will resume from them, and the workdir may be long-lived. *)
@@ -648,7 +688,7 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
   acct.a_compute_s <- acct.a_compute_s +. !comp;
   acct.a_check_s <- acct.a_check_s +. !chk;
   { fsm; reports = Report.dedup (List.rev !reports); degraded = None;
-    dataflow_engine = Some engine; dataflow_graph = Some dg }
+    dataflow_engine = Some engine; dataflow_graph = Some dg; summary = None }
 
 (* Phases 2 and 3 for one property, supervised: on a storage fault that
    outlived the engine's own op-level retries, or on budget exhaustion, the
@@ -657,10 +697,15 @@ let attempt_property (p : prepared) (fsm : Fsm.t) ~(acct : acct) ~resume :
    [max_retries] times, after which it degrades to an [Inconclusive] report
    instead of aborting the run.  Simulated crashes ([Faults.Crash]) are
    deliberately not caught. *)
-let supervise (p : prepared) (fsm : Fsm.t) ~(acct : acct) : property_result =
+let supervise ?(resume_first = false) (p : prepared) (fsm : Fsm.t)
+    ~(acct : acct) : property_result =
+  (* [resume_first]: the very first attempt already resumes from the
+     instance's checkpoint manifest — a shard worker re-dispatched after its
+     predecessor died continues that predecessor's work *)
   let rec go attempt =
     match
-      attempt_property p fsm ~acct ~resume:(p.config.resume || attempt > 0)
+      attempt_property p fsm ~acct
+        ~resume:(p.config.resume || resume_first || attempt > 0)
     with
     | r ->
         if attempt > 0 then acct.a_recovered <- acct.a_recovered + 1;
@@ -746,7 +791,15 @@ let estimate_instance (p : prepared) (fsm : Fsm.t) : int =
   done;
   !n
 
-let check_properties ?workers (p : prepared) (fsms : Fsm.t list) :
+(* Largest first; ties broken by name so the order is deterministic. *)
+let order_items (p : prepared) (fsms : Fsm.t list) =
+  List.mapi (fun idx fsm -> (idx, fsm, estimate_instance p fsm)) fsms
+  |> List.sort (fun (_, f1, e1) (_, f2, e2) ->
+         match compare e2 e1 with
+         | 0 -> compare f1.Fsm.name f2.Fsm.name
+         | c -> c)
+
+let check_properties_domains ?workers (p : prepared) (fsms : Fsm.t list) :
     property_result list * schedule_entry list =
   let workers =
     match workers with Some w -> max 1 w | None -> max 1 p.config.workers
@@ -754,19 +807,7 @@ let check_properties ?workers (p : prepared) (fsms : Fsm.t list) :
   let n = List.length fsms in
   if n = 0 then ([], [])
   else begin
-    let items =
-      List.mapi (fun idx fsm -> (idx, fsm, estimate_instance p fsm)) fsms
-    in
-    (* largest first; ties broken by name so the pop order is deterministic *)
-    let queue =
-      ref
-        (List.sort
-           (fun (_, f1, e1) (_, f2, e2) ->
-             match compare e2 e1 with
-             | 0 -> compare f1.Fsm.name f2.Fsm.name
-             | c -> c)
-           items)
-    in
+    let queue = ref (order_items p fsms) in
     let mu = Mutex.create () in
     let cond = Condition.create () in
     let in_flight = ref 0 in
@@ -892,6 +933,157 @@ let check_properties ?workers (p : prepared) (fsms : Fsm.t list) :
       List.init n (fun idx -> Option.get entries.(idx)) )
   end
 
+(* ---------------- supervised multi-process shard runtime (ISSUE 8) ----
+
+   The same instances, scheduled largest-estimated-first like the domain
+   pool, but each dispatch runs in a forked worker *process*: an instance
+   that OOMs, segfaults, or wedges takes down only its worker.  The
+   [Engine.Supervisor] kills and replaces dead/hung workers and re-dispatches
+   their in-flight instance, which resumes from the instance's checkpoint
+   manifest ([supervise ~resume_first]); past [max_redispatch] losses the
+   instance degrades to [Inconclusive], the same contract as budget
+   exhaustion.  Each dispatch attempt re-derives the instance's fault plan
+   from scratch (fresh counters, same salt), so its fault stream depends
+   only on its own operation history — reports are byte-identical at any
+   process count and any crash schedule.  Results return as marshalled
+   [shard_account] frames and are merged in canonical instance order. *)
+
+(* The frame a worker sends back for one completed instance. *)
+type shard_account = {
+  sa_reports : Report.t list;
+  sa_degraded : string option;
+  sa_acct : acct;
+  sa_summary : shard_summary option;
+}
+
+(* Runs inside the forked worker: one supervised instance attempt chain,
+   ending with the engine-state summary (computed while the engine is still
+   alive — it dies with the process). *)
+let run_shard_instance (p : prepared) (fsm : Fsm.t) ~base_plan ~attempt :
+    string =
+  let acct = fresh_acct () in
+  let plan =
+    Option.map
+      (fun b ->
+        Engine.Faults.derive b
+          ~salt:(Engine.Faults.salt_of_string fsm.Fsm.name))
+      base_plan
+  in
+  (match plan with
+  | Some pl -> Engine.Faults.install pl
+  | None -> Engine.Faults.clear ());
+  Engine.Faults.set_scope (Some ("df-" ^ fsm.Fsm.name));
+  let r = supervise ~resume_first:(attempt > 0) p fsm ~acct in
+  (match plan with
+  | Some pl -> acct.a_injected <- pl.Engine.Faults.n_injected
+  | None -> ());
+  (* the summary's partition reload must not fault: the plan has done its
+     deterministic work for this instance by now *)
+  Engine.Faults.set_scope None;
+  Engine.Faults.clear ();
+  let summary =
+    match r.dataflow_engine with
+    | None -> None
+    | Some e ->
+        (* [total_edges] first: it reloads partitions, matching the order
+           the in-process [stats] path reads them in *)
+        let total = Dataflow_engine.total_edges e in
+        let m = Dataflow_engine.metrics e in
+        Some
+          { sm_vertices =
+              Option.fold ~none:0 ~some:Dataflow_graph.n_vertices
+                r.dataflow_graph;
+            sm_seed_edges = Dataflow_engine.n_seed_edges e;
+            sm_total_edges = total;
+            sm_partitions = Dataflow_engine.n_partitions e;
+            sm_metrics = Engine.Metrics.registry m }
+  in
+  Marshal.to_string
+    { sa_reports = r.reports; sa_degraded = r.degraded; sa_acct = acct;
+      sa_summary = summary }
+    []
+
+let check_properties_shard (p : prepared) (fsms : Fsm.t list) :
+    property_result list * schedule_entry list =
+  let n = List.length fsms in
+  if n = 0 then ([], [])
+  else begin
+    let order = Array.of_list (order_items p fsms) in
+    (* captured before the fork: every worker derives from the same base *)
+    let base_plan = Engine.Faults.current () in
+    let sup_config =
+      { Engine.Supervisor.default_config with
+        Engine.Supervisor.procs = p.config.shard_procs;
+        heartbeat_ms = p.config.heartbeat_ms;
+        deadline_s = p.config.shard_deadline_s;
+        max_redispatch = p.config.max_redispatch;
+        retry_seed = p.config.engine.Engine.retry_seed;
+        retry_base_ms = p.config.engine.Engine.retry_base_ms;
+        kill_nth = p.config.shard_kill_nth }
+    in
+    let tasks = Array.map (fun (_, f, _) -> f.Fsm.name) order in
+    let run_task ~task ~attempt =
+      let _, fsm, _ = order.(task) in
+      run_shard_instance p fsm ~base_plan ~attempt
+    in
+    let outcomes =
+      Obs.Trace.with_span ~cat:"scheduler"
+        ~args:[ ("procs", Obs.Trace.Int p.config.shard_procs);
+                ("instances", Obs.Trace.Int n) ]
+        "scheduler.shard"
+        (fun () ->
+          Engine.Supervisor.run ~reg:p.sup_reg ~config:sup_config ~tasks
+            ~run_task ())
+    in
+    let results : property_result option array = Array.make n None in
+    let accts : acct option array = Array.make n None in
+    let entries : schedule_entry option array = Array.make n None in
+    Array.iteri
+      (fun k outcome ->
+        let idx, fsm, est = order.(k) in
+        match outcome with
+        | Engine.Supervisor.Completed { payload; slot; wall_s } ->
+            let (sa : shard_account) = Marshal.from_string payload 0 in
+            results.(idx) <-
+              Some
+                { fsm; reports = sa.sa_reports; degraded = sa.sa_degraded;
+                  dataflow_engine = None; dataflow_graph = None;
+                  summary = sa.sa_summary };
+            accts.(idx) <- Some sa.sa_acct;
+            entries.(idx) <-
+              Some
+                { s_instance = fsm.Fsm.name; s_worker = slot;
+                  s_estimate = est; s_wall_s = wall_s }
+        | Engine.Supervisor.Degraded reason ->
+            (* the instance lost [max_redispatch + 1] worker processes in a
+               row: degrade it exactly like budget exhaustion would *)
+            sweep_instance_workdir
+              (Filename.concat p.config.workdir ("df-" ^ fsm.Fsm.name));
+            let acct = fresh_acct () in
+            acct.a_inconclusive <- 1;
+            results.(idx) <- Some (inconclusive_result fsm reason);
+            accts.(idx) <- Some acct;
+            entries.(idx) <-
+              Some
+                { s_instance = fsm.Fsm.name; s_worker = -1; s_estimate = est;
+                  s_wall_s = 0. })
+      outcomes;
+    (* canonical-order merge, as in the domain scheduler: the aggregate is
+       independent of which worker ran what and of any crash schedule *)
+    for idx = 0 to n - 1 do
+      match accts.(idx) with
+      | Some a -> merge_acct p a
+      | None -> assert false
+    done;
+    ( List.init n (fun idx -> Option.get results.(idx)),
+      List.init n (fun idx -> Option.get entries.(idx)) )
+  end
+
+let check_properties ?workers (p : prepared) (fsms : Fsm.t list) :
+    property_result list * schedule_entry list =
+  if p.config.shard_procs > 0 then check_properties_shard p fsms
+  else check_properties_domains ?workers p fsms
+
 (* ---------------- aggregate statistics (Tables 3-5, Figure 9) -------- *)
 
 type stats = {
@@ -946,37 +1138,46 @@ let combine_metrics (ms : Engine.Metrics.t list) : Engine.Metrics.t =
 
 let stats (p : prepared) (props : property_result list) : stats =
   let alias_m = Alias_engine.metrics p.alias_engine in
+  (* instances that ran in a shard worker carry no live engine/graph; their
+     totals and metric registry come from the worker's [shard_summary] *)
   let df_ms =
     List.filter_map
-      (fun pr -> Option.map Dataflow_engine.metrics pr.dataflow_engine)
+      (fun pr ->
+        match pr.dataflow_engine with
+        | Some e -> Some (Dataflow_engine.metrics e)
+        | None ->
+            Option.map
+              (fun s -> Engine.Metrics.of_registry s.sm_metrics)
+              pr.summary)
       props
   in
-  let sum_graphs f =
-    List.fold_left
-      (fun acc pr ->
-        acc + Option.fold ~none:0 ~some:f pr.dataflow_graph)
-      0 props
-  in
-  let sum_engines f =
-    List.fold_left
-      (fun acc pr ->
-        acc + Option.fold ~none:0 ~some:f pr.dataflow_engine)
-      0 props
+  let sum f = List.fold_left (fun acc pr -> acc + f pr) 0 props in
+  let sum_engines f g =
+    sum (fun pr ->
+        match (pr.dataflow_engine, pr.summary) with
+        | Some e, _ -> f e
+        | None, Some s -> g s
+        | None, None -> 0)
   in
   let n_vertices =
-    Alias_graph.n_vertices p.alias_graph + sum_graphs Dataflow_graph.n_vertices
+    Alias_graph.n_vertices p.alias_graph
+    + sum (fun pr ->
+          match (pr.dataflow_graph, pr.summary) with
+          | Some dg, _ -> Dataflow_graph.n_vertices dg
+          | None, Some s -> s.sm_vertices
+          | None, None -> 0)
   in
   let n_edges_before =
     Alias_engine.n_seed_edges p.alias_engine
-    + sum_engines Dataflow_engine.n_seed_edges
+    + sum_engines Dataflow_engine.n_seed_edges (fun s -> s.sm_seed_edges)
   in
   let n_edges_after =
     Alias_engine.total_edges p.alias_engine
-    + sum_engines Dataflow_engine.total_edges
+    + sum_engines Dataflow_engine.total_edges (fun s -> s.sm_total_edges)
   in
   let n_partitions =
     Alias_engine.n_partitions p.alias_engine
-    + sum_engines Dataflow_engine.n_partitions
+    + sum_engines Dataflow_engine.n_partitions (fun s -> s.sm_partitions)
   in
   (* combined last: [total_edges] above reloads partitions, and under an
      active fault plan those loads can themselves be retried — summing the
@@ -996,6 +1197,9 @@ let stats (p : prepared) (props : property_result list) : stats =
   (* enrich the merged registry with the pipeline- and solver-level numbers
      so [--metrics-json] is one self-contained document *)
   let reg = Engine.Metrics.registry m in
+  (* fold in the shard supervisor's counters (spawns/kills/re-dispatches,
+     heartbeat histogram); empty when the run was in-process *)
+  Obs.Registry.merge ~into:reg p.sup_reg;
   let set_g name v = Obs.Registry.gauge_set (Obs.Registry.gauge reg name) v in
   let set_c name v = Obs.Registry.set (Obs.Registry.counter reg name) v in
   set_g "pipeline.preprocess_s" p.timing.preprocess_s;
@@ -1057,5 +1261,13 @@ let check ?config ~workdir program fsms =
 let cleanup (p : prepared) (props : property_result list) =
   Alias_engine.cleanup p.alias_engine;
   List.iter
-    (fun pr -> Option.iter Dataflow_engine.cleanup pr.dataflow_engine)
+    (fun pr ->
+      match pr.dataflow_engine with
+      | Some e -> Dataflow_engine.cleanup e
+      | None ->
+          (* a shard instance's partition files outlive its worker process;
+             sweep its private workdir by name *)
+          if pr.summary <> None then
+            sweep_instance_workdir
+              (Filename.concat p.config.workdir ("df-" ^ pr.fsm.Fsm.name)))
     props

@@ -19,6 +19,9 @@ module Storage = Storage
 module Faults = Faults
 module Manifest = Manifest
 module Domains = Domains
+module Interrupt = Interrupt
+module Shardproc = Shardproc
+module Supervisor = Supervisor
 module Encoding = Pathenc.Encoding
 module Formula = Smt.Formula
 module Solver = Smt.Solver
@@ -72,6 +75,11 @@ type config = {
    durable), so the caller may retry with [run ~resume:true], extend the
    budget, or degrade the instance. *)
 exception Budget_exhausted of string
+
+(* A cooperative interrupt (SIGINT/SIGTERM, or the shard supervisor shutting
+   down).  Raised from the same poll points as budget aborts, so the last
+   checkpoint manifest is durable and the run is resumable. *)
+exception Interrupted = Interrupt.Interrupted
 
 (* Deterministic backoff: [base * 2^attempt], scaled by a seeded jitter in
    [1, 2) so concurrent instances don't retry in lockstep, yet a given
@@ -148,9 +156,14 @@ module Make (L : LABEL_LOGIC) = struct
       match config with Some c -> c | None -> default_config ~workdir
     in
     ensure_dir config.workdir;
+    let metrics = Metrics.create () in
+    (* a writer that died mid-[atomic_write] leaves an orphaned temp file;
+       sweep it now so it can never shadow live state *)
+    let stale = Storage.sweep_stale_temps ~dir:config.workdir in
+    if stale > 0 then Metrics.add metrics.Metrics.stale_temps stale;
     { config;
       decode;
-      metrics = Metrics.create ();
+      metrics;
       cache = Lru.create (max 16 config.cache_capacity);
       parts = [];
       next_pid = 0;
@@ -191,6 +204,7 @@ module Make (L : LABEL_LOGIC) = struct
     go 0
 
   let check_budgets t =
+    Interrupt.check ();
     let c = t.config in
     let edges_added = Metrics.count t.metrics.Metrics.edges_added in
     if c.edge_budget > 0 && edges_added > c.edge_budget then
@@ -803,6 +817,17 @@ module Make (L : LABEL_LOGIC) = struct
   let try_restore t (processed : (int * int, int * int) Hashtbl.t) : bool =
     match with_retries t (fun () -> Manifest.load ~workdir:t.config.workdir) with
     | None -> false
+    | Some m
+      when not
+             (List.for_all
+                (fun (p : Manifest.part) ->
+                  Sys.file_exists
+                    (Filename.concat t.config.workdir p.Manifest.file))
+                m.Manifest.parts) ->
+        (* a checksum-valid manifest referencing a vanished partition file
+           describes state that no longer exists: start fresh rather than
+           resume into silently-empty partitions *)
+        false
     | Some m ->
         t.parts <-
           List.map

@@ -1,0 +1,21 @@
+(* Cooperative interruption for long-running engine work (ISSUE 8).
+
+   A signal handler (or the shard supervisor) sets the process-wide flag;
+   the engine polls it at its budget checkpoints — the same boundaries that
+   make budget aborts safe — and raises [Interrupted].  At that instant the
+   last checkpoint manifest is already durable (manifests are written after
+   every completed pair, before the poll), so an interrupted run is always
+   resumable with [run ~resume:true].
+
+   The flag lives in its own module so both the engine functor and the
+   process supervisor can poll it without a dependency cycle. *)
+
+exception Interrupted
+
+let flag = Atomic.make false
+let request () = Atomic.set flag true
+let requested () = Atomic.get flag
+let reset () = Atomic.set flag false
+
+(* Poll point: raise if an interrupt was requested. *)
+let check () = if Atomic.get flag then raise Interrupted

@@ -31,6 +31,7 @@ type t = {
   bytes_written : R.counter;
   retries : R.counter;             (* storage ops retried after a fault *)
   corrupt_reads : R.counter;       (* reads recovered from a damaged tail *)
+  stale_temps : R.counter;         (* orphaned *.tmp files swept on open *)
   batch_sizes : R.histogram;       (* encodings per SMT solving batch *)
   batch_solve_ms : R.histogram;    (* wall ms per SMT solving batch *)
 }
@@ -41,8 +42,9 @@ let batch_size_bounds =
 let batch_ms_bounds =
   [| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000. |]
 
-let create () =
-  let reg = R.create () in
+(* Build the handle record over an existing registry (find-or-create), so a
+   registry marshalled across a process boundary can be re-adopted. *)
+let of_registry reg =
   { reg;
     io_s = R.gauge reg "engine.io_s";
     decode_s = R.gauge reg "engine.decode_s";
@@ -60,9 +62,12 @@ let create () =
     bytes_written = R.counter reg "engine.bytes_written";
     retries = R.counter reg "engine.retries";
     corrupt_reads = R.counter reg "engine.corrupt_reads";
+    stale_temps = R.counter reg "engine.stale_temps";
     batch_sizes = R.histogram ~bounds:batch_size_bounds reg "smt.batch_size";
     batch_solve_ms = R.histogram ~bounds:batch_ms_bounds reg "smt.batch_solve_ms"
   }
+
+let create () = of_registry (R.create ())
 
 let registry (m : t) = m.reg
 
@@ -121,10 +126,10 @@ let pp ppf (m : t) =
   Format.fprintf ppf
     "io=%.2fs decode=%.2fs solve=%.2fs join=%.2fs solved=%d hits=%d/%d \
      evictions=%d edges+=%d considered=%d pairs=%d repart=%d bytes=%d/%d \
-     retries=%d corrupt=%d"
+     retries=%d corrupt=%d stale_tmp=%d"
     (seconds m.io_s) (seconds m.decode_s) (seconds m.solve_s)
     (seconds m.join_s) (count m.constraints_solved) (count m.cache_hits)
     (count m.cache_lookups) (count m.cache_evictions) (count m.edges_added)
     (count m.edges_considered) (count m.pairs_processed)
     (count m.repartitions) (count m.bytes_read) (count m.bytes_written)
-    (count m.retries) (count m.corrupt_reads)
+    (count m.retries) (count m.corrupt_reads) (count m.stale_temps)

@@ -180,3 +180,21 @@ let append_file ~path (edges : raw_edge list) : int =
   Buffer.length buf - appended_from
 
 let remove_file ~path = if Sys.file_exists path then Sys.remove path
+
+(* Remove orphaned [*.tmp] siblings left behind by a writer that died
+   between opening its temp file and the rename.  They are garbage by
+   construction — [atomic_write] always creates the temp fresh — and a
+   stale one would otherwise sit in the workdir forever (or, worse, be
+   mistaken for live state by a directory scan).  Returns how many were
+   swept so the caller can account a typed recovery counter. *)
+let sweep_stale_temps ~dir : int =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else
+    Array.fold_left
+      (fun n f ->
+        if Filename.check_suffix f ".tmp" then begin
+          (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+          n + 1
+        end
+        else n)
+      0 (Sys.readdir dir)

@@ -191,6 +191,28 @@ let test_manifest_roundtrip () =
   Alcotest.(check bool) "missing manifest" true
     (Manifest.load ~workdir:(fresh_workdir ()) = None)
 
+let test_manifest_truncated_header () =
+  let workdir = fresh_workdir () in
+  let m =
+    { Manifest.next_pid = 2; max_vertex = 9; n_seed_edges = 4;
+      parts =
+        [ { Manifest.pid = 0; lo = 0; hi = 10; version = 1; approx_edges = 4;
+            file = "p0000.edges" } ];
+      processed = [] }
+  in
+  Manifest.save ~workdir m;
+  let path = Manifest.path ~workdir in
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  (* keep only a prefix of the header line: no checksum, no body *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub contents 0 3));
+  Alcotest.(check bool) "truncated header rejected" true
+    (Manifest.load ~workdir = None);
+  (* empty file: same typed outcome, no exception *)
+  Out_channel.with_open_bin path (fun _ -> ());
+  Alcotest.(check bool) "empty manifest rejected" true
+    (Manifest.load ~workdir = None)
+
 (* ---------------- engine under faults ---------------- *)
 
 let true_decode (_ : E.t) = Smt.Formula.True
@@ -262,6 +284,79 @@ let test_engine_resume_equals_fresh () =
   seed_chain t2 12;
   AEngine.run ~resume:true t2;
   Alcotest.(check bool) "resumed closure identical" true (facts t2 = expect);
+  AEngine.cleanup t2
+
+(* A checksum-valid manifest whose partition file vanished (e.g. a partial
+   workdir wipe) must not be restored: resume falls back to a fresh run and
+   still converges to the same closure. *)
+let test_resume_missing_partition_runs_fresh () =
+  let clean = mk_engine () in
+  seed_chain clean 12;
+  AEngine.run clean;
+  let expect = facts clean in
+  AEngine.cleanup clean;
+  let workdir = fresh_workdir () in
+  let config =
+    { (Engine.default_config ~workdir) with Engine.target_partitions = 2 }
+  in
+  let t = AEngine.create ~config ~decode:true_decode ~workdir () in
+  seed_chain t 12;
+  (match with_plan "crash-checkpoint=2" (fun () -> AEngine.run t) with
+  | _ -> Alcotest.fail "checkpoint crash did not fire"
+  | exception Faults.Crash _ -> ());
+  (* delete one partition file out from under the (still valid) manifest *)
+  (match Manifest.load ~workdir with
+  | None -> Alcotest.fail "manifest should be durable at the crash point"
+  | Some m ->
+      let part = List.hd m.Manifest.parts in
+      Sys.remove (Filename.concat workdir part.Manifest.file));
+  let t2 = AEngine.create ~config ~decode:true_decode ~workdir () in
+  seed_chain t2 12;
+  AEngine.run ~resume:true t2;
+  Alcotest.(check bool) "fresh run after rejected restore is identical" true
+    (facts t2 = expect);
+  AEngine.cleanup t2
+
+(* The edge budget is a strict bound: a run whose final closure is exactly
+   the budget completes; one edge less trips [Budget_exhausted]; resuming
+   the tripped run without a budget finishes with the identical closure. *)
+let test_engine_budget_exact_boundary () =
+  let clean = mk_engine () in
+  seed_chain clean 10;
+  AEngine.run clean;
+  let expect = facts clean in
+  let added =
+    Engine.Metrics.count (AEngine.metrics clean).Engine.Metrics.edges_added
+  in
+  AEngine.cleanup clean;
+  Alcotest.(check bool) "closure is non-trivial" true (added > 1);
+  let at =
+    mk_engine ~config_f:(fun c -> { c with Engine.edge_budget = added }) ()
+  in
+  seed_chain at 10;
+  AEngine.run at;
+  Alcotest.(check bool) "exactly-at-budget completes" true (facts at = expect);
+  AEngine.cleanup at;
+  let workdir = fresh_workdir () in
+  let tight =
+    { (Engine.default_config ~workdir) with
+      Engine.target_partitions = 2; edge_budget = added - 1 }
+  in
+  let t = AEngine.create ~config:tight ~decode:true_decode ~workdir () in
+  seed_chain t 10;
+  (match AEngine.run t with
+  | _ -> Alcotest.fail "budget of total-1 should trip"
+  | exception Engine.Budget_exhausted _ -> ());
+  (* same workdir, budget lifted: resume completes what the tripped run
+     checkpointed and converges to the same closure *)
+  let unbounded =
+    { (Engine.default_config ~workdir) with Engine.target_partitions = 2 }
+  in
+  let t2 = AEngine.create ~config:unbounded ~decode:true_decode ~workdir () in
+  seed_chain t2 10;
+  AEngine.run ~resume:true t2;
+  Alcotest.(check bool) "resume after exhaustion is identical" true
+    (facts t2 = expect);
   AEngine.cleanup t2
 
 let test_engine_edge_budget () =
@@ -425,6 +520,12 @@ let suite =
       test_short_write_leaves_target;
     Alcotest.test_case "append crash safe" `Quick test_append_is_crash_safe;
     Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
+    Alcotest.test_case "manifest truncated header" `Quick
+      test_manifest_truncated_header;
+    Alcotest.test_case "resume with missing partition runs fresh" `Quick
+      test_resume_missing_partition_runs_fresh;
+    Alcotest.test_case "edge budget exact boundary" `Quick
+      test_engine_budget_exact_boundary;
     Alcotest.test_case "engine identical under rate faults" `Quick
       test_engine_identical_under_rate_faults;
     Alcotest.test_case "engine resume equals fresh" `Quick

@@ -10,8 +10,13 @@ let () =
   | Some spec when String.trim spec <> "" ->
       Engine.Faults.install (Engine.Faults.parse spec)
   | _ -> ());
+  (* the shard suite must run FIRST: it forks worker processes, and
+     Unix.fork refuses to run in a process that has ever created a domain
+     (OCaml 5), which several later suites do (solver fan-out, the domain
+     scheduler).  Alcotest runs suites in list order. *)
   Alcotest.run "grapple"
-    [ ("smt", Suite_smt.suite);
+    [ ("shard", Suite_shard.suite);
+      ("smt", Suite_smt.suite);
       ("jir", Suite_jir.suite);
       ("encoding", Suite_encoding.suite);
       ("symexec", Suite_symexec.suite);
