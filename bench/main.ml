@@ -118,8 +118,8 @@ let table2 () =
             Option.value ~default:[] (List.assoc_opt checker r.results)
           in
           let s =
-            Scoring.score ~checker ~expected:r.subject.Generator.expected
-              ~reports
+            Scoring.score ~allow_empty:true ~checker
+              ~expected:r.subject.Generator.expected ~reports ()
           in
           tot_tp := !tot_tp + s.Scoring.tp;
           tot_fp := !tot_fp + s.Scoring.fp;
@@ -158,6 +158,7 @@ let table2 () =
   let reports = Option.value ~default:[] (List.assoc_opt "null" results) in
   let sc =
     Scoring.score ~checker:"null" ~expected:subject.Generator.expected ~reports
+      ()
   in
   Printf.printf "null checker on minizk: TP=%d FP=%d FN=%d\n" sc.Scoring.tp
     sc.Scoring.fp sc.Scoring.fn
@@ -541,8 +542,8 @@ let summaries () =
               Option.value ~default:[] (List.assoc_opt checker results)
             in
             let s =
-              Scoring.score ~checker ~expected:subject.Generator.expected
-                ~reports
+              Scoring.score ~allow_empty:true ~checker
+                ~expected:subject.Generator.expected ~reports ()
             in
             (tp + s.Scoring.tp, fp + s.Scoring.fp))
           (0, 0) checker_names
@@ -579,11 +580,11 @@ let summaries () =
         Analysis.Summaries.interproc_diags ~fsms:(Checkers.fsms ()) program
       in
       let ls =
-        Scoring.score_lints ~checker:"interproc"
+        Scoring.score_lints ~allow_empty:true ~checker:"interproc"
           ~expected:subject.Generator.expected diags
       in
       let intra =
-        Scoring.score_lints ~checker:"interproc"
+        Scoring.score_lints ~allow_empty:true ~checker:"interproc"
           ~expected:subject.Generator.expected
           (Analysis.Lint.check_program program)
       in
@@ -684,11 +685,11 @@ let alias () =
         Analysis.Pointsto.diags (Analysis.Pointsto.analyze program)
       in
       let ls =
-        Scoring.score_lints ~checker:"pointsto"
+        Scoring.score_lints ~allow_empty:true ~checker:"pointsto"
           ~expected:subject.Generator.expected diags
       in
       let intra =
-        Scoring.score_lints ~checker:"pointsto"
+        Scoring.score_lints ~allow_empty:true ~checker:"pointsto"
           ~expected:subject.Generator.expected
           (Analysis.Lint.check_program program)
       in
@@ -724,7 +725,8 @@ let ablation () =
       List.iter
         (fun (checker, reports) ->
           let s =
-            Scoring.score ~checker ~expected:subject.Generator.expected ~reports
+            Scoring.score ~allow_empty:true ~checker
+              ~expected:subject.Generator.expected ~reports ()
           in
           tp := !tp + s.Scoring.tp;
           fn := !fn + s.Scoring.fn)
@@ -800,8 +802,8 @@ let ablation () =
           List.iter
             (fun (checker, reports) ->
               let sc =
-                Scoring.score ~checker ~expected:subject.Generator.expected
-                  ~reports
+                Scoring.score ~allow_empty:true ~checker
+                  ~expected:subject.Generator.expected ~reports ()
               in
               tp := !tp + sc.Scoring.tp;
               fp := !fp + sc.Scoring.fp;
@@ -1297,7 +1299,7 @@ let dsl_checkers () =
     in
     let s =
       Scoring.score ~checker:score_as ~expected:subject.Generator.expected
-        ~reports
+        ~reports ()
     in
     Printf.printf "%-11s %-10s %9d %6d %5d %6d %4d %4d %4d %8s\n" label name
       stats.Pipeline.n_edges_after stats.Pipeline.n_prefiltered
@@ -1316,6 +1318,173 @@ let dsl_checkers () =
     ~score_as:"exc_twr";
   Printf.printf
     "(exception* = plain walk scored against the exc_twr ground truth)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Megaload: the 100K+-LoC workload tier (ISSUE 9).  One generated      *)
+(* mega subject through the full pipeline at shard-procs {1,4} and      *)
+(* workers {1,4}; asserts the four warning reports are byte-identical   *)
+(* and records edges/s, peak RSS, and the triage-tier prune rates into  *)
+(* BENCH_<rev>.json.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let peak_rss_kb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec go acc =
+      match input_line ic with
+      | line ->
+          let acc =
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              match
+                String.split_on_char ' ' line |> List.filter (( <> ) "")
+              with
+              | _ :: v :: _ -> Option.value ~default:acc (int_of_string_opt v)
+              | _ -> acc
+            else acc
+          in
+          go acc
+      | exception End_of_file ->
+          close_in ic;
+          acc
+    in
+    go 0
+  with _ -> 0
+
+let render_results results =
+  results
+  |> List.concat_map (fun (name, rs) ->
+         List.map (fun r -> name ^ " " ^ Grapple.Report.to_json r) rs)
+  |> String.concat "\n"
+
+(* Splice a "megaload" entry into this commit's BENCH_<rev>.json,
+   preserving the baseline subjects if the file already exists. *)
+let record_megaload_json json =
+  let rev = git_rev () in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let entry = Printf.sprintf "  \"megaload\": %s\n}\n" json in
+  let content =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let old = really_input_string ic n in
+      close_in ic;
+      (* drop any previous megaload entry, then the closing brace *)
+      let find_sub hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          if i + nn > nh then None
+          else if String.sub hay i nn = needle then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let old =
+        match find_sub old ",\n  \"megaload\":" with
+        | Some i -> String.sub old 0 i ^ "\n}\n"
+        | None -> old
+      in
+      match String.rindex_opt old '}' with
+      | Some i -> String.sub old 0 i ^ ",\n" ^ entry
+      | None -> Printf.sprintf "{\n  \"rev\": %S,\n%s" rev entry
+    end
+    else Printf.sprintf "{\n  \"rev\": %S,\n%s" rev entry
+  in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  Printf.printf "recorded megaload entry in %s\n" path
+
+let megaload ~fast () =
+  header "Megaload: the 100K+-LoC workload tier"
+    "checking 1M-LoC codebases on one desktop (SS1, SS5)";
+  let units =
+    match
+      Option.bind (Sys.getenv_opt "GRAPPLE_MEGALOAD_UNITS") int_of_string_opt
+    with
+    | Some u when u > 0 -> u
+    | _ -> if fast then 60 else 400
+  in
+  Printf.printf "generating mega100k (%d units)...\n%!" units;
+  let t0 = Unix.gettimeofday () in
+  let subject = Generator.mega_100k ~units () in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "  %d LoC, %d methods, %d planted bugs (generated in %s)\n%!"
+    subject.Generator.loc subject.Generator.n_methods
+    (List.length subject.Generator.expected)
+    (hms gen_s);
+  let cs = Checkers.all () in
+  let fsms =
+    List.filter_map
+      (fun (c : Checkers.t) ->
+        match c.Checkers.kind with
+        | `Typestate f -> Some f
+        | `Exception_walk _ -> None)
+      cs
+  in
+  let one ~label ~workers ~shard_procs =
+    let workdir = Filename.concat root_workdir ("mega-" ^ label) in
+    let config =
+      { (Pipeline.default_config ~workdir) with
+        Pipeline.library_throwers = Checkers.Specs.library_throwers;
+        prefilter_properties = fsms;
+        workers;
+        shard_procs }
+    in
+    let t0 = Unix.gettimeofday () in
+    let prepared =
+      Pipeline.prepare ~config ~workdir subject.Generator.program
+    in
+    let results, props, _ = Checkers.run_all_scheduled prepared cs in
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats = Pipeline.stats prepared props in
+    Printf.printf "  %-14s wall=%-8s warnings=%d\n%!" label (hms wall)
+      (List.fold_left (fun n (_, rs) -> n + List.length rs) 0 results);
+    (render_results results, stats, wall)
+  in
+  (* ordering constraint: the shard runs fork worker processes, and a
+     process that has spawned domains must never fork (OCaml 5) — so both
+     shard configurations run first, with the shared domain budget capped
+     at 1 to keep the solver fan-out from creating domains either. *)
+  Engine.Domains.set_cap 1;
+  let shard1 = one ~label:"shard-procs=1" ~workers:1 ~shard_procs:1 in
+  let shard4 = one ~label:"shard-procs=4" ~workers:1 ~shard_procs:4 in
+  Engine.Domains.set_cap Engine.Domains.default_cap;
+  let w1 = one ~label:"workers=1" ~workers:1 ~shard_procs:0 in
+  let w4 = one ~label:"workers=4" ~workers:4 ~shard_procs:0 in
+  let base, stats, wall = w1 in
+  let identical =
+    List.for_all (fun (r, _, _) -> r = base) [ shard1; shard4; w4 ]
+  in
+  Printf.printf
+    "  warnings byte-identical across workers {1,4} x shard-procs {1,4}: %s\n"
+    (if identical then "yes" else "NO — DIVERGENCE");
+  let tracked =
+    stats.Pipeline.n_prefiltered + stats.Pipeline.n_summary_pruned
+    + stats.Pipeline.n_alias_pruned
+  in
+  let edges_per_s =
+    if stats.Pipeline.compute_s > 0. then
+      float_of_int stats.Pipeline.edges_added /. stats.Pipeline.compute_s
+    else 0.
+  in
+  let rss = peak_rss_kb () in
+  Printf.printf
+    "  edges/s=%.0f peak_rss=%dMB prefiltered=%d summary_pruned=%d \
+     alias_pruned=%d\n"
+    edges_per_s (rss / 1024) stats.Pipeline.n_prefiltered
+    stats.Pipeline.n_summary_pruned stats.Pipeline.n_alias_pruned;
+  ignore tracked;
+  let wall_of (_, _, w) = w in
+  record_megaload_json
+    (Printf.sprintf
+       {|{"units":%d,"loc":%d,"n_methods":%d,"gen_s":%.3f,"wall_s_workers1":%.3f,"wall_s_workers4":%.3f,"wall_s_shard1":%.3f,"wall_s_shard4":%.3f,"edges_added":%d,"edges_per_s":%.1f,"peak_rss_kb":%d,"n_prefiltered":%d,"n_summary_pruned":%d,"n_alias_pruned":%d,"n_edges_presliced":%d,"n_edges_sliced":%d,"byte_identical":%b}|}
+       units subject.Generator.loc subject.Generator.n_methods gen_s wall
+       (wall_of w4) (wall_of shard1) (wall_of shard4)
+       stats.Pipeline.edges_added edges_per_s rss stats.Pipeline.n_prefiltered
+       stats.Pipeline.n_summary_pruned stats.Pipeline.n_alias_pruned
+       stats.Pipeline.n_edges_presliced stats.Pipeline.n_edges_sliced
+       identical);
+  if not identical then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                              *)
@@ -1344,7 +1513,8 @@ let () =
       ("shards", fun () -> shards ~fast ());
       ("micro", fun () -> micro ());
       ("checkers", fun () -> dsl_checkers ());
-      ("baseline", fun () -> baseline ()) ]
+      ("baseline", fun () -> baseline ());
+      ("megaload", fun () -> megaload ~fast ()) ]
   in
   let chosen =
     match args with

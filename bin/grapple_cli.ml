@@ -639,22 +639,36 @@ let gen_cmd =
              ~doc:"write the generated JIR to FILE (default: stdout)")
   in
   let run profile out =
-    let subjects = Workload.Generator.all_subjects () @ Workload.Generator.dsl_subjects () in
-    match
-      List.find_opt
-        (fun (s : Workload.Generator.subject) ->
-          s.Workload.Generator.profile.Workload.Generator.name = profile)
-        subjects
-    with
+    (* thunks: the megaload profiles are expensive, so nothing is
+       generated until the requested name is known *)
+    let mega_units default =
+      match
+        Option.bind (Sys.getenv_opt "GRAPPLE_MEGALOAD_UNITS") int_of_string_opt
+      with
+      | Some u when u > 0 -> u
+      | _ -> default
+    in
+    let profiles : (string * (unit -> Workload.Generator.subject)) list =
+      [ ("minizk", Workload.Generator.mini_zookeeper);
+        ("minihadoop", Workload.Generator.mini_hadoop);
+        ("minihdfs", Workload.Generator.mini_hdfs);
+        ("minihbase", Workload.Generator.mini_hbase);
+        ("minilocks", Workload.Generator.mini_locks);
+        ("minitaint", Workload.Generator.mini_taint);
+        ("miniclose", Workload.Generator.mini_close);
+        ("minitwr", Workload.Generator.mini_twr);
+        ("mega100k",
+         fun () -> Workload.Generator.mega_100k ~units:(mega_units 400) ());
+        ("mega1m",
+         fun () -> Workload.Generator.mega_1m ~units:(mega_units 2400) ()) ]
+    in
+    match List.assoc_opt profile profiles with
     | None ->
         Printf.eprintf "unknown profile %S (available: %s)\n" profile
-          (String.concat ", "
-             (List.map
-                (fun (s : Workload.Generator.subject) ->
-                  s.Workload.Generator.profile.Workload.Generator.name)
-                subjects));
+          (String.concat ", " (List.map fst profiles));
         exit 2
-    | Some s -> (
+    | Some mk -> (
+        let s = mk () in
         let text = Jir.Pp.program_to_string s.Workload.Generator.program in
         match out with
         | None -> print_string text
@@ -668,10 +682,91 @@ let gen_cmd =
        ~doc:"emit a synthetic benchmark subject (JIR source) by profile name")
     Term.(const run $ profile_arg $ out_arg)
 
+(* The adversarial soundness fuzzer (ISSUE 9): random generated subjects
+   through the full pipeline vs. the concrete reference interpreter. *)
+let fuzz_cmd =
+  let iters_arg =
+    Arg.(value & opt int 50
+         & info [ "iters" ] ~docv:"N" ~doc:"fuzz iterations (one generated \
+                  subject each)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"base seed; every generated subject, input choice, and \
+                   shrink step derives from it, so a run is reproducible")
+  in
+  let runs_arg =
+    Arg.(value & opt int 6
+         & info [ "runs" ] ~docv:"N"
+             ~doc:"concrete interpreter runs (distinct input seeds) per \
+                   subject")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus-dir" ] ~docv:"DIR"
+             ~doc:"write minimized counterexamples to DIR (default: no \
+                   corpus output)")
+  in
+  let weaken_arg =
+    Arg.(value & opt (some string) None
+         & info [ "weaken-tier" ] ~docv:"TIER"
+             ~doc:"TESTING ONLY: deliberately break a triage tier \
+                   (escape|summary|alias) so the harness itself can be \
+                   validated — a weakened run must fail")
+  in
+  let run iters seed runs corpus_dir weaken workers_opt shard_procs_opt
+      fault_plan =
+    let workers = match workers_opt with Some w when w > 0 -> w | _ -> 1 in
+    let shard_procs =
+      match shard_procs_opt with Some n when n >= 0 -> n | _ -> 0
+    in
+    (* soundness must also hold while storage faults are being injected
+       and recovered: same flag syntax as `check --fault-plan` *)
+    (match fault_plan with
+    | Some spec -> Engine.Faults.install (Engine.Faults.parse spec)
+    | None -> ());
+    let cfg =
+      { Refinterp.Fuzz.default_config with
+        Refinterp.Fuzz.iters;
+        seed;
+        workers;
+        shard_procs;
+        weaken_tier = weaken;
+        runs_per_program = runs;
+        corpus_dir;
+        log = (fun m -> Printf.eprintf "fuzz: %s\n%!" m) }
+    in
+    let res = Refinterp.Fuzz.run cfg in
+    Printf.printf
+      "fuzz: %d iterations, %d interpreter runs, %d concrete violations \
+       checked, %d reports checked, %d soundness failure(s)\n"
+      res.Refinterp.Fuzz.iterations res.Refinterp.Fuzz.interp_runs
+      res.Refinterp.Fuzz.violations_seen res.Refinterp.Fuzz.reports_seen
+      (List.length res.Refinterp.Fuzz.failures);
+    List.iter
+      (fun (f : Refinterp.Fuzz.failure) ->
+        Printf.printf "FAIL iter=%d seed=%d checker=%s: %s%s\n" f.Refinterp.Fuzz.f_iter
+          f.Refinterp.Fuzz.f_seed f.Refinterp.Fuzz.f_checker
+          f.Refinterp.Fuzz.f_summary
+          (match f.Refinterp.Fuzz.f_corpus_file with
+          | Some p -> " (minimized: " ^ p ^ ")"
+          | None -> ""))
+      res.Refinterp.Fuzz.failures;
+    if res.Refinterp.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"adversarial soundness fuzzing: generated subjects through the \
+             static pipeline vs. a concrete reference interpreter")
+    Term.(const run $ iters_arg $ seed_arg $ runs_arg $ corpus_arg
+          $ weaken_arg $ workers_arg $ shard_procs_arg $ fault_plan_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "grapple" ~doc:"static finite-state property checking")
-          [ check_cmd; lint_cmd; cfet_cmd; graph_cmd; closure_cmd; gen_cmd ]))
+          [ check_cmd; lint_cmd; cfet_cmd; graph_cmd; closure_cmd; gen_cmd;
+            fuzz_cmd ]))

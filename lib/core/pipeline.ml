@@ -97,6 +97,15 @@ type config = {
   shard_kill_nth : int;
       (* deterministic fault injection: SIGKILL the worker receiving the
          Nth instance assignment of the run (0 = off) *)
+  weaken_tier : string option;
+      (* TEST-ONLY soundness-harness hook (ISSUE 9): deliberately break one
+         triage tier so the reference-interpreter fuzzer can prove it would
+         catch a tier that drops reports.  ["escape"] keeps the escape
+         filter's exclusions but discards the local re-check (its reports
+         are silently lost); ["summary"]/["alias"] prune *every* tracked
+         allocation at that tier instead of only the proven-clean ones.
+         [None] (the default, and the only value the CLI's check command
+         can produce) changes nothing *)
 }
 
 let default_config ~workdir =
@@ -121,7 +130,8 @@ let default_config ~workdir =
     heartbeat_ms = 100.;
     max_redispatch = 3;
     shard_deadline_s = 0.;
-    shard_kill_nth = 0 }
+    shard_kill_nth = 0;
+    weaken_tier = None }
 
 type timing = {
   mutable preprocess_s : float;  (* frontend + graph generation + loading *)
@@ -217,6 +227,41 @@ let merge_acct (p : prepared) (a : acct) =
 
 (* ---------------- phase 0 + 1 ---------------- *)
 
+(* Every allocation sid of a class some property tracks (and that an earlier
+   tier has not already excluded) — the deliberately unsound "prune
+   everything" set the [weaken_tier] test hook substitutes for a tier's real
+   result, so the soundness harness can demonstrate it detects the lost
+   reports. *)
+let tracked_alloc_sids (program : Jir.Ast.program) (fsms : Fsm.t list)
+    ~excluded : int list =
+  let out = ref [] in
+  let tracked cls = List.exists (fun f -> Fsm.is_tracked f cls) fsms in
+  let alloc (s : Jir.Ast.stmt) r =
+    match r with
+    | Jir.Ast.Rnew (cls, _) when tracked cls ->
+        if not (Hashtbl.mem excluded s.Jir.Ast.sid) then
+          out := s.Jir.Ast.sid :: !out
+    | _ -> ()
+  in
+  let rec stmt (s : Jir.Ast.stmt) =
+    match s.Jir.Ast.kind with
+    | Jir.Ast.Decl (_, _, Some r) | Jir.Ast.Assign (_, r) -> alloc s r
+    | Jir.Ast.If (_, b1, b2) ->
+        List.iter stmt b1;
+        List.iter stmt b2
+    | Jir.Ast.While (_, b) -> List.iter stmt b
+    | Jir.Ast.Try (b, cs) ->
+        List.iter stmt b;
+        List.iter
+          (fun (c : Jir.Ast.catch) -> List.iter stmt c.Jir.Ast.handler)
+          cs
+    | _ -> ()
+  in
+  List.iter
+    (fun (m : Jir.Ast.meth) -> List.iter stmt m.Jir.Ast.body)
+    (Jir.Ast.all_methods program);
+  List.sort compare !out
+
 let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
     prepared =
   let config =
@@ -297,6 +342,12 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
         end
         else [])
   in
+  (* weakened-summary hook: pretend the tier proved everything clean *)
+  let summary_pruned =
+    if config.weaken_tier = Some "summary" then
+      tracked_alloc_sids program config.prefilter_properties ~excluded
+    else summary_pruned
+  in
   List.iter (fun sid -> Hashtbl.replace excluded sid ()) summary_pruned;
   (* points-to pre-filter (ISSUE 7): whole-program Andersen analysis over
      the unrolled program.  Its points-to sets over-approximate the CFL
@@ -320,6 +371,12 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
               |> List.filter (fun sid -> not (Hashtbl.mem excluded sid))
           in
           (Some pt, pruned))
+  in
+  (* weakened-alias hook: prune every tracked allocation still in play *)
+  let alias_pruned =
+    if config.weaken_tier = Some "alias" then
+      tracked_alloc_sids program config.prefilter_properties ~excluded
+    else alias_pruned
   in
   List.iter (fun sid -> Hashtbl.replace excluded sid ()) alias_pruned;
   let alias_graph =
@@ -422,6 +479,10 @@ let prepare ?(config : config option) ~workdir (program : Jir.Ast.program) :
   let alias_engine, flows, n_alias_pairs = run_alias 0 in
   timing.preprocess_s <- !pre;
   timing.compute_s <- !comp;
+  (* weakened-escape hook: keep the exclusions but lose the local re-check *)
+  let prefiltered =
+    if config.weaken_tier = Some "escape" then [] else prefiltered
+  in
   { config; program; icfet; callgraph; clones; alias_graph; alias_engine;
     flows; n_alias_pairs; prefiltered; summary_pruned; alias_pruned;
     n_edges_presliced; n_edges_sliced; timing; faults;

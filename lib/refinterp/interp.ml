@@ -1,0 +1,383 @@
+(* Concrete reference interpreter for resolved JIR (ISSUE 9).
+
+   DiVM-style oracle for the static pipeline: run the program for real —
+   a heap of allocation-site objects, a call stack, bounded loop/recursion
+   fuel, seeded input choices — and record the *actual* event trace each
+   tracked allocation experienced.  The soundness harness (Oracle, Fuzz)
+   replays those traces through the property FSMs and demands that every
+   concrete error-state or leak is also statically reported.
+
+   Alignment with the static semantics is the whole point, so the
+   interpreter borrows the analyses' own definitions wherever one exists:
+
+   - a call is a *library* call exactly when its resolved [target_class]
+     defines no such method in the program (the resolver fills
+     [target_class] from the receiver's declared type — static dispatch,
+     same as the call graph);
+   - library instance calls record an event on the receiver object; the
+     event fires on the normal outcome only, mirroring the CFET, where a
+     may-throw call statement lives on the non-exceptional continuation;
+   - whether a library call may throw comes from the same
+     [library_throwers] table the pipeline merges into the CFET config,
+     and the throw/no-throw outcome is a seeded input choice;
+   - catch dispatch uses [Symexec.Cfet.catch_matches] verbatim (exact
+     class, or the [Exception] catch-all);
+   - store and return events are syntactic on the statement, like the
+     graph builder's event matcher: a store fires for the stored
+     reference even when the receiver is null, and calls through a null
+     receiver are inert (no event, no crash) because the static analyses
+     model no null-pointer traps;
+   - methods have no [this]: a call to a *defined* (class, method) binds
+     arguments to parameters and ignores the receiver, exactly as the
+     clone tree does.
+
+   Events are recorded raw ([call]/[store src]/[return var] plus the
+   enclosing method) and resolved against a concrete FSM only later, in
+   the oracle, with [Fsm.call_event]/[store_event]/[return_event] — the
+   single point of truth every static layer already shares. *)
+
+type value = Vint of int | Vnull | Vobj of obj
+
+and obj = {
+  o_id : int;                      (* allocation order, 0-based *)
+  o_cls : string;
+  o_at : Jir.Ast.pos;              (* allocation site *)
+  o_fields : (string, value) Hashtbl.t;
+  mutable o_events : event list;   (* reverse chronological *)
+}
+
+and event = { ev_meth : Jir.Ast.meth; ev_kind : ekind }
+
+and ekind =
+  | Ecall of Jir.Ast.call          (* library instance call on the object *)
+  | Estore of Jir.Ast.var          (* the object was stored to a field *)
+  | Ereturn of Jir.Ast.var         (* the object was returned *)
+
+type exit_kind =
+  | Exit_normal
+  | Exit_uncaught of { exn_class : string; throw_at : Jir.Ast.pos option }
+      (* [throw_at] is the position of the originating explicit [Throw]
+         statement; [None] for exceptions injected at library calls *)
+  | Exit_fuel  (* loop/recursion fuel exhausted: a truncated run *)
+
+type outcome = {
+  exit_ : exit_kind;
+  objects : obj list;  (* chronological allocation order *)
+  steps : int;         (* statements executed *)
+}
+
+type config = {
+  seed : int;          (* drives entry inputs and library-throw choices *)
+  fuel : int;          (* statement budget for the whole run *)
+  max_depth : int;     (* call-stack depth bound *)
+  throw_pct : int;     (* a may-throw library call throws with this % *)
+  library_throwers : (string * string * string) list;
+      (* (class, method, exception), as in [Pipeline.config] *)
+}
+
+let default_config ~seed =
+  { seed;
+    fuel = 200_000;
+    max_depth = 200;
+    throw_pct = 30;
+    library_throwers = [] }
+
+exception Out_of_fuel
+
+type state = {
+  cfg : config;
+  idx : Jir.Ast.index;
+  throwers : (string * string, string) Hashtbl.t;
+  rng : Workload.Rng.t;
+  mutable fuel : int;
+  mutable steps : int;
+  mutable allocs : obj list;  (* reverse chronological *)
+  mutable next_id : int;
+}
+
+(* Entry inputs: a seeded mixture that lands on both sides of every
+   branch threshold the workload patterns use (0, 2, 3, 5, 10, 100). *)
+let input_int (st : state) =
+  match Workload.Rng.int st.rng 6 with
+  | 0 -> Workload.Rng.int st.rng 4 - 2
+  | 1 -> Workload.Rng.int st.rng 8
+  | 2 -> Workload.Rng.int st.rng 13
+  | 3 -> 98 + Workload.Rng.int st.rng 5
+  | 4 -> Workload.Rng.int st.rng 200 - 50
+  | _ -> Workload.Rng.int st.rng 12
+
+let consume (st : state) =
+  if st.fuel <= 0 then raise Out_of_fuel;
+  st.fuel <- st.fuel - 1;
+  st.steps <- st.steps + 1
+
+let alloc (st : state) cls at =
+  let o =
+    { o_id = st.next_id; o_cls = cls; o_at = at;
+      o_fields = Hashtbl.create 4; o_events = [] }
+  in
+  st.next_id <- st.next_id + 1;
+  st.allocs <- o :: st.allocs;
+  o
+
+let default_value = function
+  | Jir.Ast.Tint | Jir.Ast.Tbool -> Vint 0
+  | Jir.Ast.Tobj _ | Jir.Ast.Tvoid -> Vnull
+
+(* ---------------- frames and flow ---------------- *)
+
+type env = {
+  st : state;
+  meth : Jir.Ast.meth;
+  mutable vars : (Jir.Ast.var * value ref) list;
+  depth : int;
+}
+
+type flow =
+  | Fnext
+  | Freturn of value
+  | Fthrow of string * Jir.Ast.pos option
+
+let lookup env v = List.assoc_opt v env.vars
+
+let get env v = match lookup env v with Some r -> !r | None -> Vnull
+
+let set env v value =
+  match lookup env v with
+  | Some r -> r := value
+  | None -> env.vars <- (v, ref value) :: env.vars
+
+let define env v value = env.vars <- (v, ref value) :: env.vars
+
+let record env v kind =
+  match v with
+  | Vobj o -> o.o_events <- { ev_meth = env.meth; ev_kind = kind } :: o.o_events
+  | Vint _ | Vnull -> ()
+
+(* ---------------- expressions ---------------- *)
+
+let rec eval_expr env : Jir.Ast.expr -> int = function
+  | Jir.Ast.Const n -> n
+  | Jir.Ast.Var v -> (
+      match get env v with Vint n -> n | Vnull | Vobj _ -> 0)
+  | Jir.Ast.Binop (op, a, b) -> (
+      let a = eval_expr env a and b = eval_expr env b in
+      match op with
+      | Jir.Ast.Add -> a + b
+      | Jir.Ast.Sub -> a - b
+      | Jir.Ast.Mul -> a * b)
+
+let rec eval_cond env : Jir.Ast.cond -> bool = function
+  | Jir.Ast.Bconst b -> b
+  | Jir.Ast.Cmp (op, a, b) -> (
+      let a = eval_expr env a and b = eval_expr env b in
+      match op with
+      | Jir.Ast.Le -> a <= b
+      | Jir.Ast.Lt -> a < b
+      | Jir.Ast.Ge -> a >= b
+      | Jir.Ast.Gt -> a > b
+      | Jir.Ast.Eq -> a = b
+      | Jir.Ast.Ne -> a <> b)
+  | Jir.Ast.And (a, b) -> eval_cond env a && eval_cond env b
+  | Jir.Ast.Or (a, b) -> eval_cond env a || eval_cond env b
+  | Jir.Ast.Not c -> not (eval_cond env c)
+
+(* Arguments pass values, not just integers: a variable argument hands the
+   callee whatever it holds (object references included, as the clone
+   tree's parameter binding does). *)
+let eval_arg env : Jir.Ast.expr -> value = function
+  | Jir.Ast.Var v -> get env v
+  | e -> Vint (eval_expr env e)
+
+(* ---------------- statements and calls ---------------- *)
+
+let rec exec_call env (c : Jir.Ast.call) :
+    (value, string * Jir.Ast.pos option) result =
+  match
+    Jir.Ast.find_method_idx env.st.idx ~cls:c.Jir.Ast.target_class
+      ~meth:c.Jir.Ast.mname
+  with
+  | Some callee ->
+      if env.depth >= env.st.cfg.max_depth then raise Out_of_fuel;
+      let args = List.map (eval_arg env) c.Jir.Ast.args in
+      exec_method env.st callee args ~depth:(env.depth + 1)
+  | None -> (
+      (* library call: the seeded throw decision comes first, and on the
+         throwing outcome no event fires (the CFET places the call
+         statement on the normal continuation only) *)
+      match
+        Hashtbl.find_opt env.st.throwers
+          (c.Jir.Ast.target_class, c.Jir.Ast.mname)
+      with
+      | Some exn_class
+        when Workload.Rng.chance env.st.rng env.st.cfg.throw_pct ->
+          Error (exn_class, None)
+      | _ ->
+          (match c.Jir.Ast.recv with
+          | Some r -> record env (get env r) (Ecall c)
+          | None -> ());
+          Ok Vnull)
+
+and eval_rhs env (s : Jir.Ast.stmt) :
+    Jir.Ast.rhs -> (value, string * Jir.Ast.pos option) result = function
+  | Jir.Ast.Rnew (cls, args) -> (
+      let o = alloc env.st cls s.Jir.Ast.at in
+      match Jir.Ast.find_method_idx env.st.idx ~cls ~meth:"<init>" with
+      | Some init -> (
+          let vs = List.map (eval_arg env) args in
+          match exec_method env.st init vs ~depth:(env.depth + 1) with
+          | Ok _ -> Ok (Vobj o)
+          | Error _ as e -> e)
+      | None -> Ok (Vobj o))
+  | Jir.Ast.Rload (y, f) -> (
+      match get env y with
+      | Vobj o ->
+          Ok (Option.value ~default:Vnull (Hashtbl.find_opt o.o_fields f))
+      | Vint _ | Vnull -> Ok Vnull)
+  | Jir.Ast.Rcall c -> exec_call env c
+  | Jir.Ast.Rexpr e -> Ok (Vint (eval_expr env e))
+  | Jir.Ast.Rnull -> Ok Vnull
+
+and exec_stmt env (s : Jir.Ast.stmt) : flow =
+  consume env.st;
+  match s.Jir.Ast.kind with
+  | Jir.Ast.Decl (ty, x, None) ->
+      define env x (default_value ty);
+      Fnext
+  | Jir.Ast.Decl (_, x, Some r) -> (
+      match eval_rhs env s r with
+      | Ok v ->
+          define env x v;
+          Fnext
+      | Error (e, at) -> Fthrow (e, at))
+  | Jir.Ast.Assign (x, r) -> (
+      match eval_rhs env s r with
+      | Ok v ->
+          set env x v;
+          Fnext
+      | Error (e, at) -> Fthrow (e, at))
+  | Jir.Ast.Store (x, f, y) ->
+      let vy = get env y in
+      (match get env x with
+      | Vobj o -> Hashtbl.replace o.o_fields f vy
+      | Vint _ | Vnull -> ());
+      (* syntactic on the statement, like the graph builder's matcher:
+         the store event fires for the stored reference regardless of
+         what the receiver held *)
+      record env vy (Estore y);
+      Fnext
+  | Jir.Ast.If (c, t, f) -> exec_block env (if eval_cond env c then t else f)
+  | Jir.Ast.While (c, b) ->
+      let rec loop () =
+        if eval_cond env c then begin
+          consume env.st;
+          match exec_block env b with Fnext -> loop () | f -> f
+        end
+        else Fnext
+      in
+      loop ()
+  | Jir.Ast.Try (b, catches) -> (
+      match exec_block env b with
+      | Fthrow (e, _) as f -> (
+          match
+            List.find_opt
+              (fun c -> Symexec.Cfet.catch_matches ~thrown:e c)
+              catches
+          with
+          | Some c ->
+              (* the exception variable is bound but inert (null): the
+                 static analyses track only its class *)
+              let saved = env.vars in
+              define env c.Jir.Ast.exn_var Vnull;
+              let r = exec_block env c.Jir.Ast.handler in
+              env.vars <- saved;
+              r
+          | None -> f)
+      | f -> f)
+  | Jir.Ast.Throw e -> Fthrow (e, Some s.Jir.Ast.at)
+  | Jir.Ast.Return None -> Freturn Vnull
+  | Jir.Ast.Return (Some (Jir.Ast.Var v)) ->
+      let value = get env v in
+      record env value (Ereturn v);
+      Freturn value
+  | Jir.Ast.Return (Some e) -> Freturn (Vint (eval_expr env e))
+  | Jir.Ast.Expr c -> (
+      match exec_call env c with
+      | Ok _ -> Fnext
+      | Error (e, at) -> Fthrow (e, at))
+
+and exec_block env (b : Jir.Ast.block) : flow =
+  let saved = env.vars in
+  let rec go = function
+    | [] -> Fnext
+    | s :: rest -> ( match exec_stmt env s with Fnext -> go rest | f -> f)
+  in
+  let f = go b in
+  env.vars <- saved;
+  f
+
+and exec_method (st : state) (m : Jir.Ast.meth) (args : value list) ~depth :
+    (value, string * Jir.Ast.pos option) result =
+  let env = { st; meth = m; vars = []; depth } in
+  let rec bind ps vs =
+    match ps with
+    | [] -> ()
+    | (ty, x) :: ps' ->
+        let v, vs' =
+          match vs with v :: tl -> (v, tl) | [] -> (default_value ty, [])
+        in
+        define env x v;
+        bind ps' vs'
+  in
+  bind m.Jir.Ast.params args;
+  match exec_block env m.Jir.Ast.body with
+  | Fnext -> Ok Vnull
+  | Freturn v -> Ok v
+  | Fthrow (e, at) -> Error (e, at)
+
+(* ---------------- whole-program runs ---------------- *)
+
+(* Run every analysis entry in declaration order against one seeded input
+   vector (integer parameters drawn from [input_int], object parameters
+   null).  The heap is shared across entries, as the clone tree roots all
+   entries in one program. *)
+let run ~(config : config) (program : Jir.Ast.program) : outcome =
+  let throwers = Hashtbl.create 16 in
+  List.iter
+    (fun (cls, m, e) -> Hashtbl.replace throwers (cls, m) e)
+    config.library_throwers;
+  let st =
+    { cfg = config;
+      idx = Jir.Ast.index program;
+      throwers;
+      rng = Workload.Rng.create config.seed;
+      fuel = config.fuel;
+      steps = 0;
+      allocs = [];
+      next_id = 0 }
+  in
+  let exit_ =
+    try
+      let rec go = function
+        | [] -> Exit_normal
+        | (cls, mname) :: rest -> (
+            match Jir.Ast.find_method_idx st.idx ~cls ~meth:mname with
+            | None -> go rest
+            | Some m -> (
+                let args =
+                  List.map
+                    (fun (ty, _) ->
+                      match ty with
+                      | Jir.Ast.Tint | Jir.Ast.Tbool -> Vint (input_int st)
+                      | Jir.Ast.Tobj _ | Jir.Ast.Tvoid -> Vnull)
+                    m.Jir.Ast.params
+                in
+                match exec_method st m args ~depth:0 with
+                | Ok _ -> go rest
+                | Error (e, at) ->
+                    Exit_uncaught { exn_class = e; throw_at = at }))
+      in
+      go program.Jir.Ast.entries
+    with Out_of_fuel -> Exit_fuel
+  in
+  { exit_; objects = List.rev st.allocs; steps = st.steps }

@@ -24,12 +24,26 @@ let kind_matches (k : Report.kind) (e : Patterns.exp_kind) =
 
 let report_line (r : Report.t) = r.Report.alloc_at.Jir.Ast.line
 
-(* Score the warnings of one checker. *)
-let score ~(checker : string) ~(expected : Patterns.expectation list)
-    ~(reports : Report.t list) : score =
+(* Score the warnings of one checker.
+
+   An empty filtered ground truth is an error by default: a score of
+   "0 FN" against a subject that planted no bugs of [checker] is
+   vacuous, and silently reporting it as a perfect run hides harness
+   misconfiguration (wrong checker name, wrong subject).  Callers that
+   legitimately score a no-bugs combination — e.g. a clean-subject
+   false-positive count — opt in with [~allow_empty:true]. *)
+let score ?(allow_empty = false) ~(checker : string)
+    ~(expected : Patterns.expectation list) ~(reports : Report.t list) () :
+    score =
   let expected =
     List.filter (fun e -> e.Patterns.exp_checker = checker) expected
   in
+  if expected = [] && not allow_empty then
+    invalid_arg
+      (Printf.sprintf
+         "Scoring.score: no ground-truth expectations for checker %S (pass \
+          ~allow_empty:true to score a zero-bug subject)"
+         checker);
   let reports = List.filter (fun r -> r.Report.checker = checker) reports in
   let unmatched = Hashtbl.create 16 in
   List.iteri (fun i e -> Hashtbl.replace unmatched i e) expected;
@@ -83,11 +97,18 @@ type lint_score = {
 (* [checker] selects which expectations the diagnostics are scored
    against: "lint" (default) for the intraprocedural lints, "interproc"
    for the summary-based whole-program lints. *)
-let score_lints ?(checker = "lint") ~(expected : Patterns.expectation list)
+let score_lints ?(allow_empty = false) ?(checker = "lint")
+    ~(expected : Patterns.expectation list)
     (diags : Analysis.Lint.diag list) : lint_score =
   let expected =
     List.filter (fun e -> e.Patterns.exp_checker = checker) expected
   in
+  if expected = [] && not allow_empty then
+    invalid_arg
+      (Printf.sprintf
+         "Scoring.score_lints: no ground-truth expectations for %S (pass \
+          ~allow_empty:true to score a zero-bug subject)"
+         checker);
   let unmatched = Hashtbl.create 16 in
   List.iteri (fun i e -> Hashtbl.replace unmatched i e) expected;
   let tp = ref 0 in

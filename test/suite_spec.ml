@@ -299,7 +299,7 @@ let score_subject (subject : Workload.Generator.subject) name =
     Option.value ~default:[] (List.assoc_opt name results)
   in
   Workload.Scoring.score ~checker:name
-    ~expected:subject.Workload.Generator.expected ~reports
+    ~expected:subject.Workload.Generator.expected ~reports ()
 
 let check_perfect name subject expected_tp =
   let s = score_subject subject name in
@@ -327,7 +327,7 @@ let test_exc_twr_beats_exception () =
       prepare_and_run ~track_null:false [ Checkers.resolve "exc_twr" ] program
     in
     let reports = Option.value ~default:[] (List.assoc_opt "exc_twr" results) in
-    Workload.Scoring.score ~checker:"exc_twr" ~expected ~reports
+    Workload.Scoring.score ~checker:"exc_twr" ~expected ~reports ()
   in
   let old =
     let results =
@@ -339,7 +339,7 @@ let test_exc_twr_beats_exception () =
          truth: both walks target the same planted bugs *)
       |> List.map (fun r -> { r with Grapple.Report.checker = "exc_twr" })
     in
-    Workload.Scoring.score ~checker:"exc_twr" ~expected ~reports
+    Workload.Scoring.score ~checker:"exc_twr" ~expected ~reports ()
   in
   Alcotest.(check int) "exc_twr TP" 2 twr.Workload.Scoring.tp;
   Alcotest.(check int) "exc_twr FP" 0 twr.Workload.Scoring.fp;

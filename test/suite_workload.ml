@@ -88,6 +88,7 @@ let test_scoring_tp () =
     Workload.Scoring.score ~checker:"io"
       ~expected:[ mk_exp `Leak ]
       ~reports:[ mk_report (Grapple.Report.Leak "Open") ]
+      ()
   in
   Alcotest.(check int) "tp" 1 s.Workload.Scoring.tp;
   Alcotest.(check int) "fp" 0 s.Workload.Scoring.fp;
@@ -98,6 +99,7 @@ let test_scoring_fp_wrong_line () =
     Workload.Scoring.score ~checker:"io"
       ~expected:[ mk_exp ~line:5 `Leak ]
       ~reports:[ mk_report ~line:6 (Grapple.Report.Leak "Open") ]
+      ()
   in
   Alcotest.(check int) "fp" 1 s.Workload.Scoring.fp;
   Alcotest.(check int) "fn" 1 s.Workload.Scoring.fn
@@ -107,14 +109,16 @@ let test_scoring_kind_mismatch () =
     Workload.Scoring.score ~checker:"io"
       ~expected:[ mk_exp `Error ]
       ~reports:[ mk_report (Grapple.Report.Leak "Open") ]
+      ()
   in
   Alcotest.(check int) "kind must match" 0 s.Workload.Scoring.tp
 
 let test_scoring_filters_checker () =
   let s =
-    Workload.Scoring.score ~checker:"io"
+    Workload.Scoring.score ~allow_empty:true ~checker:"io"
       ~expected:[ mk_exp ~checker:"socket" `Leak ]
       ~reports:[ mk_report ~checker:"socket" (Grapple.Report.Leak "Open") ]
+      ()
   in
   Alcotest.(check int) "other checker invisible" 0
     (s.Workload.Scoring.tp + s.Workload.Scoring.fp + s.Workload.Scoring.fn)
@@ -126,6 +130,7 @@ let test_scoring_each_expectation_once () =
       ~reports:
         [ mk_report (Grapple.Report.Leak "Open");
           mk_report (Grapple.Report.Leak "Open") ]
+      ()
   in
   Alcotest.(check int) "one tp" 1 s.Workload.Scoring.tp;
   Alcotest.(check int) "second is fp" 1 s.Workload.Scoring.fp
@@ -157,8 +162,8 @@ let test_lint_clean_without_lint_bugs () =
   let s = Workload.Generator.generate (small_profile ()) in
   let diags = Analysis.Lint.check_program s.Workload.Generator.program in
   let ls =
-    Workload.Scoring.score_lints ~expected:s.Workload.Generator.expected
-      diags
+    Workload.Scoring.score_lints ~allow_empty:true
+      ~expected:s.Workload.Generator.expected diags
   in
   Alcotest.(check int) "no false positives" 0 ls.Workload.Scoring.lfp;
   Alcotest.(check int) "no misses" 0 ls.Workload.Scoring.lfn
@@ -189,6 +194,83 @@ let test_generation_byte_identical () =
         .program
   in
   Alcotest.(check string) "byte identical" (gen ()) (gen ())
+
+let test_every_tier_byte_identical () =
+  (* same seed => byte-identical program at EVERY tier: the four paper
+     mini profiles, the four DSL profiles, and the megaload tier *)
+  let text (s : Workload.Generator.subject) =
+    Jir.Pp.program_to_string s.Workload.Generator.program
+  in
+  let pair name gen = (name, text (gen ()), text (gen ())) in
+  let tiers =
+    [ pair "minizk" Workload.Generator.mini_zookeeper;
+      pair "minihadoop" Workload.Generator.mini_hadoop;
+      pair "minihdfs" Workload.Generator.mini_hdfs;
+      pair "minihbase" Workload.Generator.mini_hbase;
+      pair "minilocks" Workload.Generator.mini_locks;
+      pair "minitaint" Workload.Generator.mini_taint;
+      pair "miniclose" Workload.Generator.mini_close;
+      pair "minitwr" Workload.Generator.mini_twr;
+      pair "mega100k" (fun () -> Workload.Generator.mega_100k ~units:3 ());
+      pair "mega1m" (fun () -> Workload.Generator.mega_1m ~units:3 ()) ]
+  in
+  List.iter
+    (fun (name, a, b) -> Alcotest.(check string) name a b)
+    tiers
+
+let test_mega_seed_distinct_bugs () =
+  (* different generator seeds => the megaload bug plan lands on
+     different (checker, line) sites *)
+  let bugs seed =
+    let p =
+      { (Workload.Generator.mega_profile ~units:6 ()) with
+        Workload.Generator.m_seed = seed }
+    in
+    let s = Workload.Generator.generate_mega p in
+    List.map
+      (fun e ->
+        (e.Workload.Patterns.exp_checker, e.Workload.Patterns.exp_line))
+      s.Workload.Generator.expected
+  in
+  let a = bugs 900 and b = bugs 901 in
+  Alcotest.(check bool) "bugs planted" true (a <> []);
+  Alcotest.(check bool) "distinct bug plans" true (a <> b)
+
+let test_mega_subject_shape () =
+  let s = Workload.Generator.mega_100k ~units:6 () in
+  (* one entry island per unit, LoC accounted, parses back *)
+  Alcotest.(check int) "one entry per unit" 6
+    (List.length s.Workload.Generator.program.Jir.Ast.entries);
+  Alcotest.(check bool) "loc counted" true
+    (s.Workload.Generator.loc > 1000);
+  let text = Jir.Pp.program_to_string s.Workload.Generator.program in
+  let p = Jir.Resolve.parse_exn text in
+  Alcotest.(check int) "round trips" (List.length s.Workload.Generator.program.Jir.Ast.classes)
+    (List.length p.Jir.Ast.classes)
+
+let test_scoring_empty_ground_truth_raises () =
+  (* scoring against an empty filtered ground truth is a harness bug
+     (vacuous 100% TP) and must raise unless explicitly allowed *)
+  let r = mk_report (Grapple.Report.Leak "opened") in
+  Alcotest.check_raises "score raises"
+    (Invalid_argument
+       "Scoring.score: no ground-truth expectations for checker \"io\" \
+        (pass ~allow_empty:true to score a zero-bug subject)")
+    (fun () ->
+      ignore
+        (Workload.Scoring.score ~checker:"io" ~expected:[] ~reports:[ r ] ()));
+  Alcotest.check_raises "score_lints raises"
+    (Invalid_argument
+       "Scoring.score_lints: no ground-truth expectations for \"lint\" \
+        (pass ~allow_empty:true to score a zero-bug subject)")
+    (fun () ->
+      ignore (Workload.Scoring.score_lints ~expected:[] []));
+  (* the explicit opt-in still scores a clean run *)
+  let s =
+    Workload.Scoring.score ~allow_empty:true ~checker:"io" ~expected:[]
+      ~reports:[ r ] ()
+  in
+  Alcotest.(check int) "opt-in counts fps" 1 s.Workload.Scoring.fp
 
 (* ---------------- rng ---------------- *)
 
@@ -229,6 +311,13 @@ let suite =
       test_lint_clean_without_lint_bugs;
     Alcotest.test_case "lint expectation matched once" `Quick
       test_score_lints_each_expectation_once;
+    Alcotest.test_case "every tier byte identical" `Quick
+      test_every_tier_byte_identical;
+    Alcotest.test_case "mega seed distinct bugs" `Quick
+      test_mega_seed_distinct_bugs;
+    Alcotest.test_case "mega subject shape" `Quick test_mega_subject_shape;
+    Alcotest.test_case "scoring empty ground truth raises" `Quick
+      test_scoring_empty_ground_truth_raises;
     Alcotest.test_case "generation byte identical" `Quick
       test_generation_byte_identical;
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;

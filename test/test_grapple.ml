@@ -34,4 +34,5 @@ let () =
       ("workload", Suite_workload.suite);
       ("spec", Suite_spec.suite);
       ("baseline", Suite_baseline.suite);
-      ("pointsto", Suite_pointsto.suite) ]
+      ("pointsto", Suite_pointsto.suite);
+      ("soundness", Suite_soundness.suite) ]
