@@ -74,11 +74,15 @@ let size t = t.size
 let capacity t = t.capacity
 let evictions t = t.evictions
 
+(* Reset to the empty state, *including* the eviction tally: a cleared
+   cache starts a fresh accounting epoch, so per-run stats never inherit
+   another run's evictions. *)
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None;
-  t.size <- 0
+  t.size <- 0;
+  t.evictions <- 0
 
 (* Keys from most to least recently used; for tests. *)
 let keys t =

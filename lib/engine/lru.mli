@@ -16,10 +16,12 @@ val size : ('k, 'v) t -> int
 val capacity : ('k, 'v) t -> int
 
 val evictions : ('k, 'v) t -> int
-(** Entries displaced by capacity pressure since [create].  [clear] does
-    not reset the count. *)
+(** Entries displaced by capacity pressure since [create] or the last
+    [clear], whichever is later. *)
 
 val clear : ('k, 'v) t -> unit
+(** Drop every entry and reset the eviction tally: a cleared cache starts a
+    fresh accounting epoch (clearing is not an eviction). *)
 
 val keys : ('k, 'v) t -> 'k list
 (** Keys from most to least recently used; intended for tests. *)

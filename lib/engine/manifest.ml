@@ -4,15 +4,24 @@
    metadata and scheduler frontier here, so a killed run can resume from the
    last completed pair instead of from zero.  Format (text, line-based):
 
-     grapple-manifest 1
+     grapple-manifest 2
      next_pid N
      max_vertex N
      n_seed_edges N
      part <pid> <lo> <hi> <version> <approx_edges> <file-basename>
      ...
-     done <pid-min> <pid-max> <version-a> <version-b>
+     done <pid-min> <pid-max> <version-a> <version-b> <count-a> <count-b>
      ...
      end <fnv1a-32 of everything above>
+
+   Version 2 (ISSUE 10) records, per processed pair, the partitions'
+   deduplicated edge counts at the moment the pair reached its local
+   fixpoint.  Partition files only ever grow by appending behind that
+   prefix (flushes preserve load order; splits mint fresh pids), so on
+   reprocessing the engine joins only the edges past those counts — the
+   cross-pair delta — instead of re-joining everything.  Version-1
+   manifests (and their boxed-record partition files) fail validation and
+   fall back to a fresh run, which overwrites the stale files.
 
    The trailing checksum covers the whole body, and the file is written
    atomically (temp + rename, via [Storage]), so a reader sees either a
@@ -37,12 +46,15 @@ type t = {
   max_vertex : int;
   n_seed_edges : int;
   parts : part list;
-  (* the scheduler frontier: ((pid_min, pid_max), (version_a, version_b))
-     for every processed pair, exactly the engine's [processed] table *)
-  processed : ((int * int) * (int * int)) list;
+  (* the scheduler frontier:
+       ((pid_min, pid_max), (version_a, version_b, count_a, count_b))
+     for every processed pair, exactly the engine's [processed] table; the
+     counts are the partitions' deduplicated edge counts at the pair's last
+     local fixpoint *)
+  processed : ((int * int) * (int * int * int * int)) list;
 }
 
-let format_version = 1
+let format_version = 2
 
 let path ~workdir = Filename.concat workdir "manifest"
 
@@ -58,7 +70,8 @@ let render (m : t) : string =
         p.approx_edges p.file)
     m.parts;
   List.iter
-    (fun ((a, b), (va, vb)) -> Printf.bprintf buf "done %d %d %d %d\n" a b va vb)
+    (fun ((a, b), (va, vb, ca, cb)) ->
+      Printf.bprintf buf "done %d %d %d %d %d %d\n" a b va vb ca cb)
     m.processed;
   let body = Buffer.contents buf in
   Printf.sprintf "%send %d\n" body (Storage.checksum_string body)
@@ -117,8 +130,10 @@ let load ~workdir : t option =
                        { pid = int pid; lo = int lo; hi = int hi;
                          version = int version; approx_edges = int approx; file }
                        :: !parts
-                 | [ "done"; a; b; va; vb ] ->
-                     processed := ((int a, int b), (int va, int vb)) :: !processed
+                 | [ "done"; a; b; va; vb; ca; cb ] ->
+                     processed :=
+                       ((int a, int b), (int va, int vb, int ca, int cb))
+                       :: !processed
                  | _ -> bad := true);
           if !bad || not !header_ok then None
           else

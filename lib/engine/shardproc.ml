@@ -7,11 +7,18 @@
      coordinator -> worker:   Assign | Shutdown
      worker -> coordinator:   Hello | Heartbeat | Done
 
-   A frame is a 4-byte big-endian payload length followed by the
-   [Marshal]ed value.  Workers read blocking (they have nothing else to
-   do); the coordinator reads nonblocking under [select] and reassembles
-   partial frames in a per-worker buffer, so a slow or half-written frame
-   never stalls supervision of the other workers.
+   A frame is a 4-byte big-endian payload length, the [Marshal]ed value,
+   and a 4-byte big-endian FNV-1a checksum of the payload.  Workers read
+   blocking (they have nothing else to do); the coordinator reads
+   nonblocking under [select] and reassembles partial frames in a
+   per-worker buffer, so a slow or half-written frame never stalls
+   supervision of the other workers.
+
+   The checksum turns a corrupted pipe into a *detected* peer failure
+   rather than a [Marshal] crash or a silently wrong value: a worker that
+   reads a damaged frame exits like a closed pipe (the supervisor
+   re-dispatches its task), and a coordinator that reads one declares the
+   worker dead and re-dispatches.
 
    The worker's heartbeat runs on its own domain so a worker wedged in a
    long computation keeps heartbeating, while a worker that is truly hung
@@ -35,17 +42,24 @@ type to_coordinator =
   | Heartbeat of int  (* worker slot, sent every heartbeat period *)
   | Done of { task : int; attempt : int; payload : string }
 
-(* The peer's end of the pipe is gone (EOF, EPIPE, closed fd). *)
+(* The peer's end of the pipe is gone (EOF, EPIPE, closed fd) — or sent a
+   frame that fails its checksum, which is treated the same way. *)
 exception Closed
 
 (* ---------------- frame encoding ---------------- *)
 
+(* Frames never approach this; a length beyond it means the length field
+   itself is damaged. *)
+let max_frame_len = 1 lsl 30
+
 let frame_bytes (v : 'a) : Bytes.t =
   let payload = Marshal.to_string v [] in
   let len = String.length payload in
-  let b = Bytes.create (4 + len) in
+  let b = Bytes.create (4 + len + 4) in
   Bytes.set_int32_be b 0 (Int32.of_int len);
   Bytes.blit_string payload 0 b 4 len;
+  Bytes.set_int32_be b (4 + len)
+    (Int32.of_int (Storage.checksum_string payload));
   b
 
 let really_write fd (b : Bytes.t) =
@@ -92,7 +106,13 @@ let really_read fd n : Bytes.t =
 let read_frame fd : 'a =
   let hdr = really_read fd 4 in
   let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-  Marshal.from_bytes (really_read fd len) 0
+  if len < 0 || len > max_frame_len then raise Closed;
+  let payload = really_read fd len in
+  let sum = Int32.to_int (Bytes.get_int32_be (really_read fd 4) 0)
+            land 0xFFFFFFFF
+  in
+  if Storage.fnv32 payload ~pos:0 ~len <> sum then raise Closed;
+  Marshal.from_bytes payload 0
 
 (* ---------------- buffered reads (coordinator side) ---------------- *)
 
@@ -100,7 +120,9 @@ type reader = { rbuf : Buffer.t }
 
 let reader () = { rbuf = Buffer.create 4096 }
 
-(* Pop every complete frame currently sitting in [r.rbuf]. *)
+(* Pop every complete frame currently sitting in [r.rbuf].  Raises [Closed]
+   on an impossible length field or a checksum mismatch: framing is lost
+   (later byte boundaries mean nothing), so the peer is as good as dead. *)
 let pop_frames (r : reader) : 'a list =
   let frames = ref [] in
   let continue = ref true in
@@ -110,19 +132,27 @@ let pop_frames (r : reader) : 'a list =
     else begin
       let contents = Buffer.to_bytes r.rbuf in
       let flen = Int32.to_int (Bytes.get_int32_be contents 0) in
-      if len < 4 + flen then continue := false
+      if flen < 0 || flen > max_frame_len then raise Closed;
+      if len < 4 + flen + 4 then continue := false
       else begin
+        let sum = Int32.to_int (Bytes.get_int32_be contents (4 + flen))
+                  land 0xFFFFFFFF
+        in
+        if Storage.fnv32 contents ~pos:4 ~len:flen <> sum then raise Closed;
         frames := Marshal.from_bytes (Bytes.sub contents 4 flen) 0 :: !frames;
         Buffer.clear r.rbuf;
-        Buffer.add_subbytes r.rbuf contents (4 + flen) (len - 4 - flen)
+        Buffer.add_subbytes r.rbuf contents (4 + flen + 4)
+          (len - 4 - flen - 4)
       end
     end
   done;
   List.rev !frames
 
 (* One nonblocking drain of [fd] into the reader; returns the complete
-   frames that became available and whether the pipe reached EOF (the
-   worker is dead — any buffered partial frame is discarded with it). *)
+   frames that became available and whether the worker is gone — the pipe
+   reached EOF, or a frame failed its checksum (framing is lost, so the
+   stream is unusable from here on).  Any buffered partial frame is
+   discarded with the dead worker. *)
 let drain (r : reader) fd : 'a list * bool =
   let chunk = Bytes.create 65536 in
   let eof = ref false in
@@ -140,7 +170,11 @@ let drain (r : reader) fd : 'a list * bool =
         eof := true;
         more := false
   done;
-  (pop_frames r, !eof)
+  match pop_frames r with
+  | frames -> (frames, !eof)
+  | exception Closed ->
+      Buffer.clear r.rbuf;
+      ([], true)
 
 (* ---------------- the worker main loop ---------------- *)
 

@@ -1,21 +1,34 @@
-(* On-disk edge storage for partitions.  A partition file is a flat sequence
-   of self-validating records:
+(* On-disk edge storage for partitions — format 2 (flat blocks).
+
+   A partition file is a flat sequence of self-validating records:
 
      varint payload-length | payload | varint FNV-1a-32(payload)
 
-   where the payload is varint source, varint destination, varint label
-   code, then the edge's path encoding in [Encoding] wire format.  Files are
-   written buffered and read back in one slurp: the engine's access pattern
-   is strictly sequential (paper §4.3: "most edge accesses are sequential").
+   where each payload is one *block*:
+
+     'P' | varint count | count x (varint len | encoding wire bytes)
+     'E' | varint count | count x (src, dst, label, enc-ref as int64 LE)
+
+   Pool blocks ('P') carry the interned path-encoding pool of an
+   [Edgebuf.t]; pool ids are assigned in file order across all pool blocks.
+   Edge blocks ('E') carry fixed-width 4-word edge records referencing pool
+   ids — the same packed layout the in-memory [Edgebuf] uses, so writing is
+   a bounded conversion of machine words, not a per-edge structural
+   serialization.  Files are written buffered and read back in one slurp:
+   the engine's access pattern is strictly sequential (paper §4.3: "most
+   edge accesses are sequential").
 
    Crash safety:
    - every write (including appends) goes through write-temp-then-rename, so
      a crash at any instant leaves either the old file or the new file, never
      a torn mixture;
-   - [read_file] never raises on damaged data: the length prefix bounds every
-     record parse, the checksum catches bit damage, and the result carries
-     the longest valid prefix plus a typed corruption marker, so the engine
-     can fall back to the last checkpoint instead of dying mid-parse.
+   - [read_flat] never raises on damaged data: the length prefix bounds every
+     block parse, the checksum catches bit damage, edge blocks referencing
+     pool ids that never validated are rejected, and the result carries the
+     longest valid prefix of blocks plus a typed corruption marker, so the
+     engine can fall back to the last checkpoint instead of dying mid-parse.
+     Recovery is block-granular: damage loses at most the tail from the
+     first damaged block onward.
 
    All operations pass through the [Faults] hooks so a seeded fault plan can
    deterministically fail, truncate, or crash them. *)
@@ -25,11 +38,19 @@ module Encoding = Pathenc.Encoding
 type raw_edge = { src : int; dst : int; label : int; enc : Encoding.t }
 
 type corruption =
-  | Truncated of int          (* byte offset of the torn trailing record *)
-  | Checksum_mismatch of int  (* byte offset of the damaged record *)
+  | Truncated of int          (* byte offset of the torn trailing block *)
+  | Checksum_mismatch of int  (* byte offset of the damaged block *)
 
-(* The result of reading a file: the longest prefix of intact records (all
-   of them when [corrupt = None]) and the file's size in bytes. *)
+(* The result of reading a file into a flat buffer: the longest prefix of
+   intact blocks (all of them when [corrupt = None]) and the file's size in
+   bytes. *)
+type flat_outcome = {
+  buf : Edgebuf.t;
+  bytes : int;
+  corrupt : corruption option;
+}
+
+(* List-shaped read result, for callers that want boxed edges. *)
 type read_outcome = {
   edges : raw_edge list;
   bytes : int;
@@ -51,22 +72,53 @@ let fnv32 (b : Bytes.t) ~pos ~len =
 let checksum_string (s : string) : int =
   fnv32 (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
 
-let write_edge buf (e : raw_edge) scratch =
-  Buffer.clear scratch;
-  Encoding.add_varint scratch e.src;
-  Encoding.add_varint scratch e.dst;
-  Encoding.add_varint scratch e.label;
-  Encoding.write scratch e.enc;
-  let payload = Buffer.to_bytes scratch in
-  let plen = Bytes.length payload in
-  Encoding.add_varint buf plen;
-  Buffer.add_bytes buf payload;
-  Encoding.add_varint buf (fnv32 payload ~pos:0 ~len:plen)
+(* Edges per block: recovery granularity.  Small enough that damage loses a
+   bounded tail, large enough that framing overhead stays negligible. *)
+let default_block_cap = 512
 
-let edges_to_buffer (edges : raw_edge list) : Buffer.t =
+let add_record buf (payload : Buffer.t) =
+  let plen = Buffer.length payload in
+  Encoding.add_varint buf plen;
+  Buffer.add_buffer buf payload;
+  Encoding.add_varint buf
+    (fnv32 (Buffer.to_bytes payload) ~pos:0 ~len:plen)
+
+(* Serialize an [Edgebuf.t]: pool blocks first, then edge blocks. *)
+let flat_to_buffer ?(block_cap = default_block_cap) (eb : Edgebuf.t) :
+    Buffer.t =
   let buf = Buffer.create 65536 in
-  let scratch = Buffer.create 256 in
-  List.iter (fun e -> write_edge buf e scratch) edges;
+  let payload = Buffer.create 8192 in
+  let np = Edgebuf.pool_size eb in
+  let i = ref 0 in
+  while !i < np do
+    let count = min block_cap (np - !i) in
+    Buffer.clear payload;
+    Buffer.add_char payload 'P';
+    Encoding.add_varint payload count;
+    for k = !i to !i + count - 1 do
+      let s = Edgebuf.enc_bytes eb k in
+      Encoding.add_varint payload (String.length s);
+      Buffer.add_string payload s
+    done;
+    add_record buf payload;
+    i := !i + count
+  done;
+  let ne = Edgebuf.n eb in
+  let j = ref 0 in
+  while !j < ne do
+    let count = min block_cap (ne - !j) in
+    Buffer.clear payload;
+    Buffer.add_char payload 'E';
+    Encoding.add_varint payload count;
+    for k = !j to !j + count - 1 do
+      Buffer.add_int64_le payload (Int64.of_int (Edgebuf.src eb k));
+      Buffer.add_int64_le payload (Int64.of_int (Edgebuf.dst eb k));
+      Buffer.add_int64_le payload (Int64.of_int (Edgebuf.label eb k));
+      Buffer.add_int64_le payload (Int64.of_int (Edgebuf.enc_id eb k))
+    done;
+    add_record buf payload;
+    j := !j + count
+  done;
   buf
 
 (* Atomically replace [path] with [contents]: write a sibling temp file,
@@ -96,28 +148,30 @@ let atomic_write ~path (contents : string) : unit =
 let write_string_atomic ~path (contents : string) : unit =
   atomic_write ~path contents
 
-(* Replace the file contents with [edges]; returns bytes written. *)
-let write_file ~path (edges : raw_edge list) : int =
-  let buf = edges_to_buffer edges in
+(* Replace the file contents with the buffer's edges; returns bytes
+   written. *)
+let write_flat ?block_cap ~path (eb : Edgebuf.t) : int =
+  let buf = flat_to_buffer ?block_cap eb in
   atomic_write ~path (Buffer.contents buf);
   Buffer.length buf
 
-(* Parse one record starting at [!pos].  Every access is bounded by the
-   length prefix, and the payload decode happens on a [Bytes.sub] slice so a
-   lying length can never walk past the record, let alone the file. *)
-let parse_record bytes pos len :
-    [ `Edge of raw_edge | `Truncated | `Corrupt ] =
+(* Parse one block starting at [!pos] into [eb].  Every access is bounded
+   by the length prefix, and the payload decode happens on a [Bytes.sub]
+   slice so a lying length can never walk past the block, let alone the
+   file. *)
+let parse_block bytes pos len (eb : Edgebuf.t) :
+    [ `Ok | `Truncated | `Corrupt ] =
   let start = !pos in
   match
     let plen = Encoding.read_varint bytes pos in
-    if plen < 0 || !pos + plen > len then raise Exit;
+    if plen < 1 || !pos + plen > len then raise Exit;
     let payload = Bytes.sub bytes !pos plen in
     pos := !pos + plen;
     let sum = Encoding.read_varint bytes pos in
     (payload, plen, sum)
   with
   | exception _ ->
-      (* ran off the end of the file inside the record: a torn tail *)
+      (* ran off the end of the file inside the block: a torn tail *)
       pos := start;
       `Truncated
   | payload, plen, sum ->
@@ -127,42 +181,107 @@ let parse_record bytes pos len :
       end
       else begin
         match
-          let p = ref 0 in
-          let src = Encoding.read_varint payload p in
-          let dst = Encoding.read_varint payload p in
-          let label = Encoding.read_varint payload p in
-          let enc = Encoding.read payload p in
-          if !p <> plen then raise Exit;
-          { src; dst; label; enc }
+          match Bytes.get payload 0 with
+          | 'P' ->
+              let p = ref 1 in
+              let count = Encoding.read_varint payload p in
+              if count < 0 then raise Exit;
+              for _ = 1 to count do
+                let slen = Encoding.read_varint payload p in
+                if slen < 0 || !p + slen > plen then raise Exit;
+                ignore
+                  (Edgebuf.pool_append eb
+                     (Bytes.sub_string payload !p slen));
+                p := !p + slen
+              done;
+              if !p <> plen then raise Exit
+          | 'E' ->
+              let p = ref 1 in
+              let count = Encoding.read_varint payload p in
+              if count < 0 || !p + (count * 32) <> plen then raise Exit;
+              let np = Edgebuf.pool_size eb in
+              (* little-endian 64-bit word, assembled on the int stack:
+                 [Bytes.get_int64_le] would box an [Int64] for every word,
+                 four per record, and this loop reads every record of every
+                 partition load.  Truncation to 63 bits matches
+                 [Int64.to_int]; out-of-range top bytes surface as negative
+                 values and fail the field checks below. *)
+              let le64 b off =
+                Char.code (Bytes.unsafe_get b off)
+                lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 8)
+                lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 16)
+                lor (Char.code (Bytes.unsafe_get b (off + 3)) lsl 24)
+                lor (Char.code (Bytes.unsafe_get b (off + 4)) lsl 32)
+                lor (Char.code (Bytes.unsafe_get b (off + 5)) lsl 40)
+                lor (Char.code (Bytes.unsafe_get b (off + 6)) lsl 48)
+                lor (Char.code (Bytes.unsafe_get b (off + 7)) lsl 56)
+              in
+              for k = 0 to count - 1 do
+                let word i = le64 payload (!p + (k * 32) + (i * 8)) in
+                let src = word 0 and dst = word 1 in
+                let label = word 2 and enc_id = word 3 in
+                if src < 0 || dst < 0 || label < 0 || enc_id < 0
+                   || enc_id >= np
+                then raise Exit;
+                Edgebuf.push eb ~src ~dst ~label ~enc_id
+              done
+          | _ -> raise Exit
         with
         | exception _ ->
             pos := start;
             `Corrupt
-        | e -> `Edge e
+        | () -> `Ok
       end
 
-(* Read every intact record; stops (without raising) at the first truncated
+(* Read every intact block; stops (without raising) at the first truncated
    or damaged one and reports it. *)
-let read_file ~path : read_outcome =
+let read_flat ~path : flat_outcome =
   Faults.on_read ~path;
-  if not (Sys.file_exists path) then { edges = []; bytes = 0; corrupt = None }
+  if not (Sys.file_exists path) then
+    { buf = Edgebuf.create (); bytes = 0; corrupt = None }
   else begin
     let ic = open_in_bin path in
     let len = in_channel_length ic in
     let bytes = Bytes.create len in
     really_input ic bytes 0 len;
     close_in ic;
+    let eb = Edgebuf.create () in
     let pos = ref 0 in
-    let acc = ref [] in
     let corrupt = ref None in
     while !pos < len && !corrupt = None do
-      match parse_record bytes pos len with
-      | `Edge e -> acc := e :: !acc
+      match parse_block bytes pos len eb with
+      | `Ok -> ()
       | `Truncated -> corrupt := Some (Truncated !pos)
       | `Corrupt -> corrupt := Some (Checksum_mismatch !pos)
     done;
-    { edges = List.rev !acc; bytes = len; corrupt = !corrupt }
+    { buf = eb; bytes = len; corrupt = !corrupt }
   end
+
+(* ---------------- boxed-edge conveniences ---------------- *)
+
+let buf_of_edges (edges : raw_edge list) : Edgebuf.t =
+  let eb = Edgebuf.create () in
+  List.iter
+    (fun e -> Edgebuf.push_edge eb ~src:e.src ~dst:e.dst ~label:e.label e.enc)
+    edges;
+  eb
+
+let edges_of_buf (eb : Edgebuf.t) : raw_edge list =
+  let out = ref [] in
+  for i = Edgebuf.n eb - 1 downto 0 do
+    out :=
+      { src = Edgebuf.src eb i; dst = Edgebuf.dst eb i;
+        label = Edgebuf.label eb i; enc = Edgebuf.enc eb (Edgebuf.enc_id eb i) }
+      :: !out
+  done;
+  !out
+
+let write_file ?block_cap ~path (edges : raw_edge list) : int =
+  write_flat ?block_cap ~path (buf_of_edges edges)
+
+let read_file ~path : read_outcome =
+  let f = read_flat ~path in
+  { edges = edges_of_buf f.buf; bytes = f.bytes; corrupt = f.corrupt }
 
 (* Append [edges]; returns the serialized size of the appended edges.
    A raw O_APPEND append is not crash-safe (a crash mid-append leaves a torn
@@ -170,14 +289,17 @@ let read_file ~path : read_outcome =
    it), so appends read the current valid prefix and atomically rewrite the
    whole file.  This costs a file-sized copy per append but makes appends
    idempotent under retry, which checkpoint recovery relies on. *)
-let append_file ~path (edges : raw_edge list) : int =
-  let existing = read_file ~path in
-  let buf = edges_to_buffer existing.edges in
-  let appended_from = Buffer.length buf in
-  let scratch = Buffer.create 256 in
-  List.iter (fun e -> write_edge buf e scratch) edges;
-  atomic_write ~path (Buffer.contents buf);
-  Buffer.length buf - appended_from
+let append_file ?block_cap ~path (edges : raw_edge list) : int =
+  let existing = read_flat ~path in
+  let before =
+    Buffer.length (flat_to_buffer ?block_cap existing.buf)
+  in
+  List.iter
+    (fun e ->
+      Edgebuf.push_edge existing.buf ~src:e.src ~dst:e.dst ~label:e.label e.enc)
+    edges;
+  let total = write_flat ?block_cap ~path existing.buf in
+  total - before
 
 let remove_file ~path = if Sys.file_exists path then Sys.remove path
 

@@ -49,6 +49,15 @@ let compose (a : t) (b : t) : t option =
   | Track f, Step g -> Some (Track (Transfn.compose (get_registry ()) f g))
   | Track _, Track _ | Step _, (Step _ | Track _) -> None
 
+(* Composition on the dense integer codes ([Track f] even, [Step f] odd),
+   allocation-free for the engine's int-packed join loop; [-1] for "no
+   production".  The transfer-function composition itself is memoized by
+   the registry, so the hot path is two bit tests and a table lookup. *)
+let compose_code (a : int) (b : int) : int =
+  if a land 1 = 0 && b land 1 = 1 then
+    Transfn.compose (get_registry ()) (a lsr 1) (b lsr 1) lsl 1
+  else -1
+
 let unary (_ : t) : t list = []
 let mirror (_ : t) : t option = None
 

@@ -71,6 +71,20 @@ let compose (a : t) (b : t) : t option =
   | Flows_to_bar, Flows_to -> Some Alias
   | _ -> None
 
+(* The same table on the dense integer codes, allocation-free: the engine's
+   join loop works on int-packed edges and must not box labels to compose
+   them.  Returns [-1] for "no production".  Field ids ride in the high
+   bits, so [Store f]'s code is [5 lor (f lsl 4)] etc.; tag dispatch is on
+   the low 4 bits. *)
+let compose_code (a : int) (b : int) : int =
+  match (a land 0xf, b land 0xf) with
+  | 2, 1 -> 2                                    (* FlowsTo . Assign *)
+  | 2, 5 -> 7 lor (b land lnot 0xf)              (* FlowsTo . Store f *)
+  | 7, 4 -> 8 lor (a land lnot 0xf)              (* FtStore f . Alias *)
+  | 8, 6 when a lsr 4 = b lsr 4 -> 2             (* FtStAl f . Load f *)
+  | 3, 2 -> 4                                    (* FlowsToBar . FlowsTo *)
+  | _ -> -1
+
 (* Unary productions: labels implied by a single edge. *)
 let unary (a : t) : t list = match a with New -> [ Flows_to ] | _ -> []
 

@@ -50,12 +50,29 @@ let test_plan_parse () =
 
 (* ---------------- storage: torn and damaged files ---------------- *)
 
+(* Byte offsets of every framed record (varint len | payload | varint sum)
+   in a format-2 partition file; recovery granularity is one record. *)
+let record_offsets (contents : string) : int list =
+  let bytes = Bytes.of_string contents in
+  let len = Bytes.length bytes in
+  let pos = ref 0 in
+  let offs = ref [] in
+  while !pos < len do
+    offs := !pos :: !offs;
+    let plen = E.read_varint bytes pos in
+    pos := !pos + plen;
+    ignore (E.read_varint bytes pos)
+  done;
+  List.rev !offs
+
 let test_read_truncated () =
   let dir = fresh_workdir () in
   let path = Filename.concat dir "t.edges" in
   let all = edges 3 in
-  let bytes = Storage.write_file ~path all in
-  (* chop 2 bytes off the trailing record *)
+  (* block_cap=1: one pool block per encoding, one edge block per edge, so
+     damage granularity in this test is a single edge *)
+  let bytes = Storage.write_file ~block_cap:1 ~path all in
+  (* chop 2 bytes off the trailing edge block *)
   let contents = In_channel.with_open_bin path In_channel.input_all in
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc (String.sub contents 0 (bytes - 2)));
@@ -75,22 +92,26 @@ let test_read_corrupted () =
   let dir = fresh_workdir () in
   let path = Filename.concat dir "c.edges" in
   let all = edges 3 in
-  let _ = Storage.write_file ~path all in
-  (* flip one byte inside the *middle* record's payload *)
-  let contents =
-    Bytes.of_string (In_channel.with_open_bin path In_channel.input_all)
-  in
-  let one = Storage.write_file ~path:(path ^ ".one") [ List.hd all ] in
-  Storage.remove_file ~path:(path ^ ".one");
-  let off = one + 2 in
-  Bytes.set contents off (Char.chr (Char.code (Bytes.get contents off) lxor 0xff));
+  let _ = Storage.write_file ~block_cap:1 ~path all in
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  (* the three distinct encodings and three edges give six records: pool
+     blocks first, then edge blocks; flip one byte inside the *middle* edge
+     block's payload *)
+  let offs = record_offsets contents in
+  Alcotest.(check int) "record layout" 6 (List.length offs);
+  let target = List.nth offs 4 in
+  let bytes = Bytes.of_string contents in
+  let off = target + 4 (* past the length varint, tag, and count *) in
+  Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 0xff));
   Out_channel.with_open_bin path (fun oc ->
-      Out_channel.output_bytes oc contents);
+      Out_channel.output_bytes oc bytes);
   let outcome = Storage.read_file ~path in
   Alcotest.(check int) "valid prefix" 1 (List.length outcome.Storage.edges);
+  Alcotest.(check bool) "prefix contents" true
+    (outcome.Storage.edges = [ List.hd all ]);
   (match outcome.Storage.corrupt with
   | Some (Storage.Checksum_mismatch o) ->
-      Alcotest.(check int) "damage offset" one o
+      Alcotest.(check int) "damage offset" target o
   | other ->
       Alcotest.failf "expected Checksum_mismatch, got %s"
         (match other with
@@ -170,7 +191,7 @@ let test_manifest_roundtrip () =
             file = "p0003.edges" };
           { Manifest.pid = 5; lo = 60; hi = 124; version = 0; approx_edges = 8;
             file = "p0005.edges" } ];
-      processed = [ ((3, 3), (2, 2)); ((3, 5), (1, 0)) ] }
+      processed = [ ((3, 3), (2, 2, 17, 17)); ((3, 5), (1, 0, 17, 8)) ] }
   in
   Manifest.save ~workdir m;
   (match Manifest.load ~workdir with
@@ -406,7 +427,7 @@ let test_pipeline_identical_under_rate_faults () =
   let p0, pr0, _ = check_leak () in
   let expect = rendered pr0 in
   Grapple.Pipeline.cleanup p0 [ pr0 ];
-  with_plan "seed=11,rate=0.1" (fun () ->
+  with_plan "seed=11,rate=0.3" (fun () ->
       let p, pr, stats = check_leak () in
       Alcotest.(check string) "warnings identical" expect (rendered pr);
       Alcotest.(check bool) "faults fired" true

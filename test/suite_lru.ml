@@ -76,8 +76,18 @@ let test_eviction_counter () =
   Lru.add c 3 ();
   Lru.add c 4 ();
   Alcotest.(check int) "two displacements counted" 2 (Lru.evictions c);
+  (* clearing starts a fresh accounting epoch: the tally drops to zero and
+     only the new epoch's displacements count *)
   Lru.clear c;
-  Alcotest.(check int) "clear is not an eviction" 2 (Lru.evictions c)
+  Alcotest.(check int) "clear resets the tally" 0 (Lru.evictions c);
+  Lru.add c 5 ();
+  Lru.add c 6 ();
+  Alcotest.(check int) "refilling after clear does not evict" 0
+    (Lru.evictions c);
+  Lru.add c 7 ();
+  Alcotest.(check int) "fresh epoch counts from zero" 1 (Lru.evictions c);
+  Lru.clear c;
+  Alcotest.(check int) "every clear resets" 0 (Lru.evictions c)
 
 let suite =
   [ Alcotest.test_case "re-add refreshes recency" `Quick

@@ -326,6 +326,46 @@ let test_shard_degrade_to_inconclusive () =
   Alcotest.(check bool) "inconclusive reports are visible in the output" true
     (contains rendered "inconclusive")
 
+(* ---------------- frame checksums ---------------- *)
+
+(* A damaged frame must never reach [Marshal]: the worker-side blocking
+   reader raises [Closed] (the worker exits and is re-dispatched), and the
+   coordinator-side drain reports the worker dead instead of yielding
+   frames. *)
+let test_frame_checksum_detects_corruption () =
+  let module Sp = Engine.Shardproc in
+  let b = Sp.frame_bytes (Sp.Heartbeat 7) in
+  (* clean roundtrip through the coordinator-side nonblocking reader *)
+  let r = Sp.reader () in
+  let rd, wr = Unix.pipe () in
+  Unix.set_nonblock rd;
+  ignore (Unix.write wr b 0 (Bytes.length b));
+  (match (Sp.drain r rd : Sp.to_coordinator list * bool) with
+  | [ Sp.Heartbeat 7 ], false -> ()
+  | frames, dead ->
+      Alcotest.failf "clean frame: %d frames, dead=%b" (List.length frames)
+        dead);
+  (* flip one payload bit: no frames, and the worker is declared dead *)
+  let c = Bytes.copy b in
+  Bytes.set c 5 (Char.chr (Char.code (Bytes.get c 5) lxor 0x40));
+  ignore (Unix.write wr c 0 (Bytes.length c));
+  (match (Sp.drain r rd : Sp.to_coordinator list * bool) with
+  | [], true -> ()
+  | frames, dead ->
+      Alcotest.failf "corrupt frame: %d frames, dead=%b" (List.length frames)
+        dead);
+  Unix.close rd;
+  Unix.close wr;
+  (* worker side: a blocking read of the same damaged frame raises Closed
+     rather than unmarshalling garbage *)
+  let rd, wr = Unix.pipe () in
+  ignore (Unix.write wr c 0 (Bytes.length c));
+  (match (Sp.read_frame rd : Sp.to_coordinator) with
+  | _ -> Alcotest.fail "corrupt frame unmarshalled"
+  | exception Sp.Closed -> ());
+  Unix.close rd;
+  Unix.close wr
+
 let suite =
   [ Alcotest.test_case "supervisor: tasks complete across workers" `Quick
       test_supervisor_completes;
@@ -346,4 +386,6 @@ let suite =
     Alcotest.test_case "crash mid-instance: resume from manifests" `Quick
       test_shard_crash_mid_instance;
     Alcotest.test_case "degraded mode: inconclusive past the limit" `Quick
-      test_shard_degrade_to_inconclusive ]
+      test_shard_degrade_to_inconclusive;
+    Alcotest.test_case "frame checksum: corruption is a dead peer" `Quick
+      test_frame_checksum_detects_corruption ]

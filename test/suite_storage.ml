@@ -1,0 +1,329 @@
+(* Tests for the flat int-packed edge representation (ISSUE 10): codec
+   round-trips over random edges including max-width fields, torn-tail
+   recovery, the [edges_added] accounting fix, a worked-example differential
+   against the naive in-memory closure, and corpus replay through the new
+   representation. *)
+
+module E = Pathenc.Encoding
+module Pg = Cfl.Pointer_grammar
+module S = Engine.Storage
+module AEngine = Engine.Make (Cfl.Pointer_grammar)
+
+let fresh_workdir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "grapple-test-flat-%d-%d" (Unix.getpid ()) !counter)
+    in
+    Engine.ensure_dir dir;
+    dir
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---------------- flat codec properties ---------------- *)
+
+let gen_enc =
+  let open QCheck in
+  let elem =
+    Gen.frequency
+      [ (6,
+         Gen.map2
+           (fun meth (a, b) ->
+             E.Interval { meth; first = min a b; last = max a b })
+           (Gen.int_bound 3)
+           (Gen.pair (Gen.int_bound 30) (Gen.int_bound 30)));
+        (2, Gen.map (fun i -> E.Call i) (Gen.int_bound 50));
+        (2, Gen.map (fun i -> E.Ret i) (Gen.int_bound 50)) ]
+  in
+  Gen.list_size (Gen.int_range 0 4) elem
+
+(* vertices and labels exercise the full 63-bit word: the format stores
+   them as little-endian int64 fields, so huge field ids and vertex ids
+   must survive unchanged *)
+let gen_vertex =
+  QCheck.Gen.frequency
+    [ (4, QCheck.Gen.int_bound 60);
+      (1, QCheck.Gen.map (fun n -> n land max_int) QCheck.Gen.int) ]
+
+let gen_label =
+  let open QCheck in
+  Gen.frequency
+    [ (3,
+       Gen.map Pg.to_int
+         (Gen.oneofl [ Pg.New; Pg.Assign; Pg.Flows_to; Pg.Flows_to_bar; Pg.Alias ]));
+      (2,
+       (* max-width field ids: [Store f] packs f into the bits above the
+          4-bit tag, so codes reach all the way up the word *)
+       Gen.map
+         (fun f -> Pg.to_int (Pg.Store (f land ((1 lsl 58) - 1))))
+         Gen.int);
+      (1, Gen.map (fun n -> n land max_int) Gen.int) ]
+
+let gen_edge =
+  QCheck.Gen.map3
+    (fun src dst (label, enc) -> { S.src; dst; label; enc })
+    gen_vertex gen_vertex
+    (QCheck.Gen.pair gen_label gen_enc)
+
+let pr_edge (e : S.raw_edge) =
+  Printf.sprintf "%d-%d->%d/%s" e.S.src e.S.label e.S.dst (E.to_string e.S.enc)
+
+let pr_edges es = String.concat "; " (List.map pr_edge es)
+
+let prop_path =
+  let dir = lazy (fresh_workdir ()) in
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Lazy.force dir) (Printf.sprintf "prop-%d.edges" !counter)
+
+let prop_flat_roundtrip =
+  QCheck.Test.make ~name:"flat codec roundtrip incl. max-width fields"
+    ~count:150
+    (QCheck.make
+       ~print:(fun (cap, es) -> Printf.sprintf "cap=%d [%s]" cap (pr_edges es))
+       (QCheck.Gen.pair (QCheck.Gen.int_range 1 6)
+          (QCheck.Gen.list_size (QCheck.Gen.int_range 0 20) gen_edge)))
+    (fun (cap, edges) ->
+      let path = prop_path () in
+      let (_ : int) = S.write_file ~block_cap:cap ~path edges in
+      let out = S.read_file ~path in
+      out.S.corrupt = None && out.S.edges = edges)
+
+let rec is_prefix shorter longer =
+  match (shorter, longer) with
+  | [], _ -> true
+  | x :: a, y :: b -> x = y && is_prefix a b
+  | _ :: _, [] -> false
+
+(* chopping any number of trailing bytes must never invent or corrupt an
+   edge: the reader returns an intact prefix, and unless the cut landed
+   exactly on a block boundary it also reports the damage *)
+let prop_flat_torn_tail =
+  QCheck.Test.make ~name:"flat codec torn-tail recovery" ~count:150
+    (QCheck.make
+       ~print:(fun (cap, es, cut) ->
+         Printf.sprintf "cap=%d cut=%d [%s]" cap cut (pr_edges es))
+       (QCheck.Gen.triple (QCheck.Gen.int_range 1 3)
+          (QCheck.Gen.list_size (QCheck.Gen.int_range 1 15) gen_edge)
+          (QCheck.Gen.int_bound 1_000_000)))
+    (fun (cap, edges, cut) ->
+      let path = prop_path () in
+      let (_ : int) = S.write_file ~block_cap:cap ~path edges in
+      let bytes = read_bytes path in
+      let len = String.length bytes in
+      let k = 1 + (cut mod (len - 1)) in
+      let oc = open_out_bin path in
+      output_string oc (String.sub bytes 0 (len - k));
+      close_out oc;
+      let out = S.read_file ~path in
+      is_prefix out.S.edges edges
+      && (out.S.corrupt <> None
+         || List.length out.S.edges < List.length edges))
+
+let test_flat_extreme_fields () =
+  let dir = fresh_workdir () in
+  let path = Filename.concat dir "extreme.edges" in
+  let wide = (1 lsl 58) - 1 in
+  let iv = [ E.Interval { meth = 0; first = 0; last = 0 } ] in
+  let edges =
+    [ { S.src = max_int; dst = 0; label = Pg.to_int (Pg.Store wide); enc = iv };
+      { S.src = 0; dst = max_int; label = Pg.to_int (Pg.Load wide); enc = [] };
+      { S.src = 1; dst = 2; label = max_int; enc = [ E.Call 3 ] } ]
+  in
+  let (_ : int) = S.write_file ~path edges in
+  let out = S.read_file ~path in
+  Alcotest.(check bool) "intact" true (out.S.corrupt = None);
+  Alcotest.(check bool) "identical" true (out.S.edges = edges);
+  (* the label codec itself must also survive the width *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (Pg.to_string l ^ " code roundtrip") true
+        (Pg.of_int (Pg.to_int l) = l))
+    [ Pg.Store wide; Pg.Load wide; Pg.Ft_store wide; Pg.Ft_st_al wide ]
+
+(* ---------------- edges_added accounting ---------------- *)
+
+let true_decode (_ : E.t) = Smt.Formula.True
+
+let test_edges_added_hand_counted () =
+  (* o --new--> v1 --assign--> v2, closed under the pointer grammar.
+
+     [preprocess] closes the seeds {New(o,v1), Assign(v1,v2)} under
+     unary/mirror, giving FlowsTo(o,v1) and FlowsToBar(v1,o) — none of
+     which count.  The run then derives exactly six new facts, each with a
+     single witness encoding:
+
+       FlowsTo(o,v2), FlowsToBar(v2,o),
+       Alias(v1,v1), Alias(v1,v2), Alias(v2,v1), Alias(v2,v2)
+
+     so [edges_added] must read exactly 6 — once per landed edge, at any
+     partition count.  Regression for the route/add_new double-count, which
+     inflated the counter whenever an edge crossed partitions. *)
+  List.iter
+    (fun parts ->
+      let workdir = fresh_workdir () in
+      let config =
+        { (Engine.default_config ~workdir) with
+          Engine.target_partitions = parts }
+      in
+      let t = AEngine.create ~config ~decode:true_decode ~workdir () in
+      let iv = [ E.Interval { meth = 0; first = 0; last = 0 } ] in
+      AEngine.add_seed t ~src:0 ~dst:1 ~label:Pg.New ~enc:iv;
+      AEngine.add_seed t ~src:1 ~dst:2 ~label:Pg.Assign ~enc:iv;
+      AEngine.run t;
+      let facts =
+        AEngine.fold_edges t
+          (fun acc e ->
+            (e.AEngine.src, e.AEngine.dst, Pg.to_int e.AEngine.label) :: acc)
+          []
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "total facts (parts=%d)" parts)
+        10 (List.length facts);
+      Alcotest.(check int)
+        (Printf.sprintf "edges added (parts=%d)" parts)
+        6
+        (Engine.Metrics.count
+           (AEngine.metrics t).Engine.Metrics.edges_added))
+    [ 1; 8 ]
+
+(* ---------------- worked example vs. naive closure ---------------- *)
+
+let test_example_matches_reference () =
+  (* the paper's store/load worked example (h1 = new H; w = new W;
+     h1.f = w; h2 = h1; u = h2.f), forced through small partitions so the
+     semi-naive delta join crosses partition pairs, compared fact-for-fact
+     against the naive in-memory closure *)
+  let seeds =
+    [ (0, 1, Pg.New); (2, 3, Pg.New); (3, 1, Pg.Store 9); (1, 4, Pg.Assign);
+      (4, 5, Pg.Load 9) ]
+  in
+  let workdir = fresh_workdir () in
+  let config =
+    { (Engine.default_config ~workdir) with
+      Engine.target_partitions = 3;
+      max_edges_per_partition = 4;
+      max_encodings_per_key = 1;
+      max_path_elements = 0 }
+  in
+  let t = AEngine.create ~config ~decode:true_decode ~workdir () in
+  List.iter
+    (fun (src, dst, label) ->
+      AEngine.add_seed t ~src ~dst ~label
+        ~enc:[ E.Interval { meth = 0; first = 0; last = 0 } ])
+    seeds;
+  AEngine.run t;
+  let engine_facts =
+    AEngine.fold_edges t
+      (fun acc e ->
+        (e.AEngine.src, e.AEngine.dst, Pg.to_int e.AEngine.label) :: acc)
+      []
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list (triple int int int)))
+    "fact set matches the naive closure"
+    (Suite_engine.reference_closure seeds)
+    engine_facts;
+  (* sanity: the example's point — the W object flows through the heap
+     into u — is among the facts *)
+  Alcotest.(check bool) "w flows to u" true
+    (List.mem (2, 5, Pg.to_int Pg.Flows_to) engine_facts)
+
+(* ---------------- corpus replay ---------------- *)
+
+let corpus_dir =
+  Filename.concat (Filename.dirname Sys.executable_name) "corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".jir")
+  |> List.sort compare
+  |> List.map (Filename.concat corpus_dir)
+
+let rec edge_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun f ->
+         let p = Filename.concat dir f in
+         if Sys.is_directory p then edge_files p
+         else if Filename.check_suffix p ".edges" then [ p ]
+         else [])
+
+let run_corpus ~parts path =
+  let program =
+    Jir.Resolve.parse_exn ~file:(Filename.basename path) (read_bytes path)
+  in
+  let workdir = fresh_workdir () in
+  let config =
+    { (Grapple.Pipeline.default_config ~workdir) with
+      Grapple.Pipeline.library_throwers = Checkers.Specs.library_throwers }
+  in
+  let config =
+    { config with
+      Grapple.Pipeline.engine =
+        { config.Grapple.Pipeline.engine with
+          Engine.target_partitions = parts } }
+  in
+  let prepared = Grapple.Pipeline.prepare ~config ~workdir program in
+  let results, _props = Checkers.run_all prepared (Checkers.all ()) in
+  let reports =
+    List.concat_map
+      (fun (name, rs) ->
+        List.map (fun r -> name ^ ": " ^ Grapple.Report.to_string r) rs)
+      results
+    |> List.sort compare
+  in
+  (workdir, reports)
+
+let test_corpus_replay () =
+  (* every minimized program in the corpus goes through the full pipeline
+     on the flat representation: the partition files it leaves behind must
+     re-read losslessly and re-serialize byte-identically, and the warnings
+     must not depend on the partition count *)
+  let saw_partition_files = ref false in
+  List.iter
+    (fun path ->
+      let workdir, reports = run_corpus ~parts:2 path in
+      List.iter
+        (fun f ->
+          let out = S.read_flat ~path:f in
+          (match out.S.corrupt with
+          | Some c ->
+              Alcotest.failf "%s: %s corrupt: %s" (Filename.basename path) f
+                (Fmt.str "%a" S.pp_corruption c)
+          | None -> ());
+          saw_partition_files := true;
+          let rt = f ^ ".rt" in
+          let (_ : int) = S.write_flat ~path:rt out.S.buf in
+          Alcotest.(check bool)
+            (Filename.basename path ^ ": " ^ Filename.basename f
+           ^ " re-serializes byte-identically")
+            true
+            (read_bytes rt = read_bytes f))
+        (edge_files workdir);
+      let _, reports' = run_corpus ~parts:5 path in
+      Alcotest.(check (list string))
+        (Filename.basename path ^ ": warnings stable across partitioning")
+        reports reports')
+    (corpus_files ());
+  Alcotest.(check bool) "replay exercised partition files" true
+    !saw_partition_files
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_flat_roundtrip;
+    QCheck_alcotest.to_alcotest prop_flat_torn_tail;
+    Alcotest.test_case "extreme field widths" `Quick test_flat_extreme_fields;
+    Alcotest.test_case "edges_added hand-counted" `Quick
+      test_edges_added_hand_counted;
+    Alcotest.test_case "worked example vs naive closure" `Quick
+      test_example_matches_reference;
+    Alcotest.test_case "corpus replay on the flat representation" `Quick
+      test_corpus_replay ]

@@ -24,6 +24,7 @@ let () =
       ("obs", Suite_obs.suite);
       ("lru", Suite_lru.suite);
       ("engine", Suite_engine.suite);
+      ("storage", Suite_storage.suite);
       ("fsm", Suite_fsm.suite);
       ("graphgen", Suite_graphgen.suite);
       ("analysis", Suite_analysis.suite);
